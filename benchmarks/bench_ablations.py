@@ -1,0 +1,146 @@
+"""Ablation benches around the Table 2 experiment.
+
+These stress the design choices DESIGN.md calls out:
+
+* routing (XY vs YX) — the CDCM advantage should survive a change of the
+  deterministic dimension order;
+* leakage scaling — sweeping the router leakage power moves the ECS metric
+  between the 0.35 um regime (savings near zero) and the deep-submicron
+  regime (savings approaching the execution-time reduction);
+* simulated-annealing effort — how much of the CDCM advantage survives a
+  cheap search;
+* local-link serialisation — treating core-router links as contention
+  resources (the paper does not) must not change the CWM/CDCM ranking;
+* search-engine comparison — SA vs random sampling vs greedy construction vs
+  the GA extension, on the same CDCM objective and evaluation budget.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, emit
+from repro.analysis.ablation import (
+    annealing_effort_ablation,
+    leakage_ablation,
+    local_link_ablation,
+    routing_ablation,
+)
+from repro.core.framework import FRWFramework
+from repro.core.mapping import Mapping
+from repro.noc.platform import Platform
+from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
+from repro.search.genetic import GeneticParameters, GeneticSearch
+from repro.search.greedy import GreedyConstructive
+from repro.search.random_search import RandomSearch
+from repro.workloads.suite import suite_entry_by_name
+
+#: Benchmark used by the ablations: medium-sized, strongly contended.
+ABLATION_ENTRY = "3x3-c"
+
+
+@pytest.fixture(scope="module")
+def ablation_case():
+    entry = suite_entry_by_name(ABLATION_ENTRY)
+    return entry.build(), Platform(mesh=entry.mesh)
+
+
+def _render(results):
+    return "\n".join(result.describe() for result in results)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_routing(benchmark, ablation_case, bench_config):
+    cdcg, platform = ablation_case
+    results = benchmark.pedantic(
+        routing_ablation,
+        args=(cdcg, platform),
+        kwargs={"config": bench_config, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    assert {r.value for r in results} == {"xy", "yx"}
+    emit("Ablation - XY vs YX routing", _render(results))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_leakage(benchmark, ablation_case, bench_config):
+    cdcg, platform = ablation_case
+    results = benchmark.pedantic(
+        leakage_ablation,
+        args=(cdcg, platform),
+        kwargs={
+            "factors": (0.0, 0.5, 1.0, 2.0),
+            "config": bench_config,
+            "seed": BENCH_SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # With zero leakage the two ECS columns collapse onto the dynamic-energy
+    # difference; they only differ through the (small) difference in the
+    # ERbit/ELbit ratio between the two technologies.
+    zero = next(r for r in results if r.value == "0")
+    assert zero.ecs_035 == pytest.approx(zero.ecs_007, abs=0.02)
+    emit("Ablation - router leakage scaling", _render(results))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_annealing_effort(benchmark, ablation_case):
+    cdcg, platform = ablation_case
+    results = benchmark.pedantic(
+        annealing_effort_ablation,
+        args=(cdcg, platform),
+        kwargs={"seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == 3
+    emit("Ablation - simulated-annealing effort", _render(results))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_local_link_serialisation(benchmark, ablation_case, bench_config):
+    cdcg, platform = ablation_case
+    results = benchmark.pedantic(
+        local_link_ablation,
+        args=(cdcg, platform),
+        kwargs={"config": bench_config, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    assert [r.value for r in results] == ["False", "True"]
+    emit("Ablation - local-link serialisation", _render(results))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_search_engines(benchmark, ablation_case):
+    """Quality of the CDCM objective reached by different engines."""
+    cdcg, platform = ablation_case
+    framework = FRWFramework(cdcg, platform)
+    schedule = AnnealingSchedule(cooling_factor=0.92, max_evaluations=2_000)
+    engines = {
+        "annealing": SimulatedAnnealing(schedule),
+        "random": RandomSearch(samples=2_000),
+        "genetic": GeneticSearch(GeneticParameters(population_size=20, generations=40)),
+        "greedy": GreedyConstructive(framework.cwg, platform),
+    }
+
+    def run():
+        outcomes = {}
+        for name, engine in engines.items():
+            outcome = framework.map(
+                model="cdcm", searcher=engine, seed=BENCH_SEED
+            )
+            outcomes[name] = outcome
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    random_cost = outcomes["random"].cost
+    assert outcomes["annealing"].cost <= random_cost * 1.05
+
+    lines = [
+        f"{name:<10} cost={outcome.cost:>14.1f} pJ  "
+        f"evaluations={outcome.evaluations:>6}  cpu={outcome.cpu_time:.2f}s"
+        for name, outcome in sorted(outcomes.items(), key=lambda kv: kv[1].cost)
+    ]
+    emit("Ablation - search engines on the CDCM objective", "\n".join(lines))

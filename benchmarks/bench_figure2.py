@@ -1,0 +1,43 @@
+"""Figure 2 — CWM evaluation of the two reference mappings.
+
+Paper values: ``EDyNoC = 390 pJ`` for *both* mappings of Figure 1(c, d); the
+CWM model cannot distinguish them.  The bench measures the cost of one CWM
+evaluation (the inner loop of the CWM mapping search) and regenerates the
+figure's numbers.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.figures import figure2_data
+from repro.core.cwm import CwmEvaluator
+from repro.graphs.convert import cdcg_to_cwg
+from repro.workloads.paper_example import (
+    paper_example_cdcg,
+    paper_example_mappings,
+    paper_example_platform,
+)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_cwm_evaluation(benchmark):
+    platform = paper_example_platform()
+    cwg = cdcg_to_cwg(paper_example_cdcg())
+    mappings = paper_example_mappings()
+    evaluator = CwmEvaluator(platform)
+
+    def evaluate_both():
+        return (
+            evaluator.cost(cwg, mappings["c"]),
+            evaluator.cost(cwg, mappings["d"]),
+        )
+
+    cost_c, cost_d = benchmark(evaluate_both)
+    assert cost_c == pytest.approx(390.0)
+    assert cost_d == pytest.approx(390.0)
+
+    data = figure2_data()
+    emit(
+        "Figure 2 - CWM energy of the reference mappings (paper: 390 pJ for both)",
+        data.describe(),
+    )

@@ -1,0 +1,61 @@
+"""Microbenchmarks of the CDCM scheduler (the cost driver of every CDCM search).
+
+Measures how one schedule replay scales with the number of packets and with
+the NoC size — the quantities behind the paper's NDP-proportional complexity
+claim — plus the raw throughput on the embedded applications.
+"""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.noc.platform import Platform
+from repro.noc.scheduler import CdcmScheduler
+from repro.noc.topology import Mesh
+from repro.workloads.embedded import embedded_applications
+from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
+
+
+def _benchmark_case(num_cores: int, num_packets: int, mesh: Mesh, seed: int = 1):
+    spec = TgffSpec(
+        name=f"sched-{num_packets}",
+        num_cores=num_cores,
+        num_packets=num_packets,
+        total_bits=num_packets * 640,
+    )
+    cdcg = TgffLikeGenerator(seed).generate(spec)
+    platform = Platform(mesh=mesh)
+    mapping = Mapping.random(cdcg.cores(), platform.num_tiles, rng=seed)
+    return CdcmScheduler(platform), cdcg, mapping
+
+
+@pytest.mark.benchmark(group="scheduler-packets")
+@pytest.mark.parametrize("num_packets", [25, 100, 400])
+def test_scheduler_scales_with_packets(benchmark, num_packets):
+    scheduler, cdcg, mapping = _benchmark_case(
+        num_cores=12, num_packets=num_packets, mesh=Mesh(4, 4)
+    )
+    result = benchmark(scheduler.schedule, cdcg, mapping)
+    assert result.execution_time > 0
+    assert len(result.packet_schedules) == num_packets
+
+
+@pytest.mark.benchmark(group="scheduler-mesh")
+@pytest.mark.parametrize("width,height", [(3, 3), (6, 6), (10, 10)])
+def test_scheduler_scales_with_mesh(benchmark, width, height):
+    mesh = Mesh(width, height)
+    scheduler, cdcg, mapping = _benchmark_case(
+        num_cores=min(20, mesh.num_tiles), num_packets=150, mesh=mesh
+    )
+    result = benchmark(scheduler.schedule, cdcg, mapping)
+    assert result.execution_time > 0
+
+
+@pytest.mark.benchmark(group="scheduler-embedded")
+@pytest.mark.parametrize("app_name", ["fft8", "object-recognition", "image-encoder"])
+def test_scheduler_on_embedded_applications(benchmark, app_name):
+    cdcg = embedded_applications()[app_name]
+    platform = Platform(mesh=Mesh(3, 3))
+    mapping = Mapping.random(cdcg.cores(), platform.num_tiles, rng=2)
+    scheduler = CdcmScheduler(platform)
+    result = benchmark(scheduler.schedule, cdcg, mapping)
+    assert result.execution_time >= cdcg.critical_path_time()

@@ -1,0 +1,71 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md for
+the experiment index) and prints the regenerated artefact so the numbers can
+be copied into EXPERIMENTS.md.
+
+Two effort levels are supported:
+
+* default — a "quick" configuration: the small-NoC subset of the suite and a
+  reduced simulated-annealing schedule, so ``pytest benchmarks/
+  --benchmark-only`` completes in minutes on a laptop;
+* ``REPRO_BENCH_FULL=1`` — the full 18-application suite (including the 8x8,
+  10x10 and 12x10 NoCs) with the default annealing schedule; expect a long
+  run, dominated by the CDCM replays of the three large benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.comparison import ComparisonConfig  # noqa: E402
+from repro.search.annealing import AnnealingSchedule  # noqa: E402
+from repro.workloads.suite import table1_suite  # noqa: E402
+
+#: Set REPRO_BENCH_FULL=1 to run the complete Table 2 suite.
+FULL_RUN = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+#: Seed used by every stochastic bench so results are reproducible run to run.
+BENCH_SEED = 20050307  # DATE 2005 (7-11 March 2005)
+
+QUICK_SCHEDULE = AnnealingSchedule(
+    cooling_factor=0.92,
+    max_evaluations=4_000,
+    stall_plateaus=10,
+)
+
+FULL_SCHEDULE = AnnealingSchedule(
+    cooling_factor=0.95,
+    max_evaluations=20_000,
+    stall_plateaus=20,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ComparisonConfig:
+    """Comparison configuration used by the Table 2 and ablation benches."""
+    schedule = FULL_SCHEDULE if FULL_RUN else QUICK_SCHEDULE
+    return ComparisonConfig(annealing_schedule=schedule)
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    """Suite entries used by the Table 1 / Table 2 benches."""
+    if FULL_RUN:
+        return table1_suite()
+    # Quick mode: all small NoCs (the sizes the paper also solves exhaustively).
+    return table1_suite(groups=("small",))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artefact in a recognisable block."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

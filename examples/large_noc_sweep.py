@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Sweep NoC sizes for one Table-1 benchmark and compare CWM vs CDCM mappings.
+
+The paper observes "a slight trend of energy consumption saving and execution
+time reduction when the NoC size increases" (Table 2).  This example takes a
+single generated benchmark and maps it onto progressively larger meshes,
+running the full CWM-vs-CDCM comparison on each and printing the
+execution-time reduction (ETR) and the energy savings for both technology
+presets, so the trend can be inspected directly.
+
+Run with:  python examples/large_noc_sweep.py
+(add --full to include a 6x6 mesh; the CDCM search cost grows with both the
+packet count and the number of tiles)
+"""
+
+import sys
+
+from repro import Mesh, Platform
+from repro.analysis.comparison import ComparisonConfig, compare_models
+from repro.energy.technology import TECH_0_07UM, TECH_0_35UM
+from repro.search.annealing import AnnealingSchedule
+from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+
+    # One medium benchmark, reused across all NoC sizes.
+    spec = TgffSpec(
+        name="sweep-benchmark",
+        num_cores=12,
+        num_packets=60,
+        total_bits=120_000,
+        computation_scale=0.5,
+    )
+    cdcg = TgffLikeGenerator(42).generate(spec)
+    print(
+        f"benchmark: {cdcg.num_cores} cores, {cdcg.num_packets} packets, "
+        f"{cdcg.total_bits():,} bits\n"
+    )
+
+    config = ComparisonConfig(
+        annealing_schedule=AnnealingSchedule(
+            cooling_factor=0.92, max_evaluations=5_000, stall_plateaus=10
+        )
+    )
+
+    meshes = [Mesh(3, 4), Mesh(4, 4), Mesh(5, 4)]
+    if full:
+        meshes.append(Mesh(6, 6))
+
+    header = (
+        f"{'NoC':<8} {'ETR':>8} {'ECS 0.35um':>12} {'ECS 0.07um':>12} "
+        f"{'CWM texec (ns)':>15} {'CDCM texec (ns)':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+    for mesh in meshes:
+        platform = Platform(mesh=mesh)
+        comparison = compare_models(cdcg, platform, config, seed=7)
+        print(
+            f"{mesh.width}x{mesh.height:<6} "
+            f"{comparison.execution_time_reduction:>8.1%} "
+            f"{comparison.energy_saving(TECH_0_35UM.name):>12.2%} "
+            f"{comparison.energy_saving(TECH_0_07UM.name):>12.1%} "
+            f"{comparison.cwm_mapping_time:>15.1f} "
+            f"{comparison.cdcm_mapping_time:>16.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

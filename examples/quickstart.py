@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: map an application onto a mesh NoC and compare CWM with CDCM.
+
+This walks through the library's core workflow on the paper's own worked
+example (Figures 1-5):
+
+1. build the application model (a CDCG: packets, computation times,
+   dependences);
+2. describe the target platform (2x2 mesh, wormhole XY routing, technology);
+3. search for mappings with the CWM and the CDCM objectives;
+4. evaluate both mappings under the full CDCM model and print what the CWM
+   abstraction cannot see: execution time, contention and static energy.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import FRWFramework
+from repro.analysis.figures import figure4_diagram, figure5_diagram
+from repro.workloads.paper_example import (
+    paper_example_cdcg,
+    paper_example_mappings,
+    paper_example_platform,
+)
+
+
+def main() -> None:
+    # 1. The application: 4 cores, 6 packets, explicit dependences.
+    cdcg = paper_example_cdcg()
+    print(f"application: {cdcg}")
+    for packet in cdcg.packets:
+        print(
+            f"  packet {packet.name}: {packet.source}->{packet.target}, "
+            f"{packet.bits} bits after {packet.computation_time:g} ns of computation"
+        )
+
+    # 2. The platform: 2x2 mesh, XY routing, tr=2/tl=1 cycles, 1-bit flits.
+    platform = paper_example_platform()
+    print()
+    print(platform.describe())
+
+    # 3. Search for mappings.  Both models explore the same space; they only
+    #    differ in what they can measure.
+    framework = FRWFramework(cdcg, platform)
+    cwm_outcome = framework.map(model="cwm", method="exhaustive", seed=1)
+    cdcm_outcome = framework.map(model="cdcm", method="exhaustive", seed=1)
+    print()
+    print(f"CWM search:  best dynamic energy  = {cwm_outcome.cost:8.1f} pJ")
+    print(f"CDCM search: best total energy    = {cdcm_outcome.cost:8.1f} pJ")
+
+    # 4. Judge both mappings with the full CDCM model.
+    print()
+    for name, mapping in (("CWM", cwm_outcome.mapping), ("CDCM", cdcm_outcome.mapping)):
+        report = framework.evaluate(mapping)
+        print(
+            f"{name:5s} mapping: texec = {report.execution_time:6.1f} ns, "
+            f"ENoC = {report.total_energy:6.1f} pJ "
+            f"(dynamic {report.dynamic_energy:5.1f} + static {report.static_energy:4.1f}), "
+            f"contention = {report.total_contention_delay:4.1f} ns"
+        )
+
+    # The two reference mappings of the paper, for comparison.
+    print()
+    print("reference mappings from Figure 1(c, d):")
+    for name, mapping in paper_example_mappings().items():
+        report = framework.evaluate(mapping)
+        print(
+            f"  mapping ({name}): texec = {report.execution_time:5.1f} ns, "
+            f"ENoC = {report.total_energy:5.1f} pJ"
+        )
+
+    # Bonus: the paper's timing diagrams (Figures 4 and 5), as ASCII charts.
+    print()
+    print(figure4_diagram(width=88))
+    print()
+    print(figure5_diagram(width=88))
+
+
+if __name__ == "__main__":
+    main()

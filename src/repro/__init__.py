@@ -1,0 +1,102 @@
+"""repro — energy- and timing-aware NoC mapping (CWM vs CDCM).
+
+A reproduction of "Exploring NoC Mapping Strategies: An Energy and Timing
+Aware Technique" (Marcon et al., DATE 2005): application models (CWG / CDCG),
+a regular-mesh wormhole NoC substrate with XY routing, dynamic + static energy
+models, a contention-aware CDCG scheduler, mapping search engines (exhaustive
+search, simulated annealing, and extensions) and the analysis pipeline that
+regenerates the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import FRWFramework, Platform, Mesh
+>>> from repro.workloads import paper_example_cdcg, paper_example_platform
+>>> framework = FRWFramework(paper_example_cdcg(), paper_example_platform())
+>>> outcome = framework.map(model="cdcm", method="annealing", seed=7)
+>>> report = framework.evaluate(outcome.mapping)
+>>> report.execution_time <= 100.0
+True
+"""
+
+from repro.graphs import CWG, CDCG, CRG, Packet, cdcg_to_cwg
+from repro.noc import (
+    Mesh,
+    Torus,
+    NocParameters,
+    Platform,
+    XYRouting,
+    YXRouting,
+    CdcmScheduler,
+    ScheduleResult,
+)
+from repro.energy import (
+    Technology,
+    TECH_0_35UM,
+    TECH_0_07UM,
+    TECH_PAPER_EXAMPLE,
+    EnergyBreakdown,
+)
+from repro.core import (
+    Mapping,
+    CwmEvaluator,
+    CdcmEvaluator,
+    FRWFramework,
+    MappingOutcome,
+)
+from repro.search import (
+    SimulatedAnnealing,
+    AnnealingSchedule,
+    ExhaustiveSearch,
+    RandomSearch,
+    GreedyConstructive,
+    GeneticSearch,
+    get_searcher,
+)
+from repro.analysis import (
+    ComparisonConfig,
+    ModelComparison,
+    compare_models,
+    generate_table1,
+    generate_table2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CWG",
+    "CDCG",
+    "CRG",
+    "Packet",
+    "cdcg_to_cwg",
+    "Mesh",
+    "Torus",
+    "NocParameters",
+    "Platform",
+    "XYRouting",
+    "YXRouting",
+    "CdcmScheduler",
+    "ScheduleResult",
+    "Technology",
+    "TECH_0_35UM",
+    "TECH_0_07UM",
+    "TECH_PAPER_EXAMPLE",
+    "EnergyBreakdown",
+    "Mapping",
+    "CwmEvaluator",
+    "CdcmEvaluator",
+    "FRWFramework",
+    "MappingOutcome",
+    "SimulatedAnnealing",
+    "AnnealingSchedule",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "GreedyConstructive",
+    "GeneticSearch",
+    "get_searcher",
+    "ComparisonConfig",
+    "ModelComparison",
+    "compare_models",
+    "generate_table1",
+    "generate_table2",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Analysis and reporting: the CWM-vs-CDCM comparison pipeline, the table and
+figure regeneration code, ablations and report writers.
+
+* :mod:`repro.analysis.comparison` — runs both mapping algorithms on one
+  application and computes the paper's metrics (ETR, ECS per technology,
+  CPU-time ratio);
+* :mod:`repro.analysis.tables` — regenerates Table 1 and Table 2;
+* :mod:`repro.analysis.figures` — regenerates the data of Figures 2 and 3 and
+  the ASCII timing diagrams of Figures 4 and 5;
+* :mod:`repro.analysis.ablation` — sensitivity studies (routing algorithm,
+  leakage scaling, SA effort, local-link serialisation);
+* :mod:`repro.analysis.report` — markdown report writers used to refresh
+  EXPERIMENTS.md.
+"""
+
+from repro.analysis.comparison import (
+    ComparisonConfig,
+    ModelComparison,
+    TechnologyResult,
+    compare_models,
+)
+from repro.analysis.tables import (
+    Table1Row,
+    Table2Row,
+    generate_table1,
+    generate_table2,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.figures import (
+    figure2_data,
+    figure3_data,
+    figure4_diagram,
+    figure5_diagram,
+)
+from repro.analysis.ablation import (
+    AblationResult,
+    routing_ablation,
+    leakage_ablation,
+    annealing_effort_ablation,
+    local_link_ablation,
+)
+from repro.analysis.report import comparison_to_markdown, table_rows_to_markdown
+
+__all__ = [
+    "ComparisonConfig",
+    "ModelComparison",
+    "TechnologyResult",
+    "compare_models",
+    "Table1Row",
+    "Table2Row",
+    "generate_table1",
+    "generate_table2",
+    "render_table1",
+    "render_table2",
+    "figure2_data",
+    "figure3_data",
+    "figure4_diagram",
+    "figure5_diagram",
+    "AblationResult",
+    "routing_ablation",
+    "leakage_ablation",
+    "annealing_effort_ablation",
+    "local_link_ablation",
+    "comparison_to_markdown",
+    "table_rows_to_markdown",
+]

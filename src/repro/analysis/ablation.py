@@ -1,0 +1,186 @@
+"""Ablation studies around the Table 2 experiment.
+
+The paper's conclusions rest on a few modelling and search choices that are
+worth stress-testing:
+
+* **routing** — XY vs YX deterministic routing (the CDCM advantage should not
+  depend on the dimension order);
+* **leakage** — scaling the router leakage power sweeps the static/dynamic
+  split and shows how the ECS metric moves between the 0.35 um and 0.07 um
+  regimes;
+* **search effort** — weaker or stronger simulated-annealing schedules show
+  how much of the CDCM advantage survives a cheap search;
+* **local-link serialisation** — treating the core-router links as contention
+  resources (the paper does not) slightly increases execution times but
+  should not change the CWM/CDCM ranking.
+
+Each ablation returns a list of :class:`AblationResult`, one per swept value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.analysis.comparison import ComparisonConfig, compare_models
+from repro.energy.technology import TECH_0_07UM, TECH_0_35UM, scale_static_power
+from repro.graphs.cdcg import CDCG
+from repro.noc.platform import NocParameters, Platform
+from repro.noc.routing import XYRouting, YXRouting
+from repro.search.annealing import AnnealingSchedule
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Outcome of the comparison experiment for one swept parameter value."""
+
+    parameter: str
+    value: str
+    etr: float
+    ecs_035: float
+    ecs_007: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.parameter}={self.value}: ETR={self.etr:+.1%}, "
+            f"ECS0.35={self.ecs_035:+.2%}, ECS0.07={self.ecs_007:+.1%}"
+        )
+
+
+def _run(
+    cdcg: CDCG,
+    platform: Platform,
+    config: ComparisonConfig,
+    seed: RandomSource,
+    parameter: str,
+    value: str,
+) -> AblationResult:
+    comparison = compare_models(cdcg, platform, config, seed=seed)
+    return AblationResult(
+        parameter=parameter,
+        value=value,
+        etr=comparison.execution_time_reduction,
+        ecs_035=comparison.energy_saving(TECH_0_35UM.name),
+        ecs_007=comparison.energy_saving(TECH_0_07UM.name),
+    )
+
+
+def routing_ablation(
+    cdcg: CDCG,
+    platform: Platform,
+    config: Optional[ComparisonConfig] = None,
+    seed: RandomSource = 0,
+) -> List[AblationResult]:
+    """XY vs YX routing."""
+    config = config or ComparisonConfig()
+    results = []
+    for routing in (XYRouting(), YXRouting()):
+        results.append(
+            _run(
+                cdcg,
+                platform.with_routing(routing),
+                config,
+                seed,
+                parameter="routing",
+                value=routing.name,
+            )
+        )
+    return results
+
+
+def leakage_ablation(
+    cdcg: CDCG,
+    platform: Platform,
+    factors: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    config: Optional[ComparisonConfig] = None,
+    seed: RandomSource = 0,
+) -> List[AblationResult]:
+    """Sweep the router leakage power of the deep-submicron technology.
+
+    The comparison itself always searches with the platform's technology; the
+    sweep rescales the leakage of both reported technologies so the ECS
+    columns move while ETR stays driven by the same schedules.
+    """
+    config = config or ComparisonConfig()
+    results = []
+    for factor in factors:
+        technologies = (
+            scale_static_power(TECH_0_35UM, factor),
+            scale_static_power(TECH_0_07UM, factor),
+        )
+        swept_config = replace(config, technologies=technologies)
+        swept_platform = platform.with_technology(technologies[1])
+        comparison = compare_models(cdcg, swept_platform, swept_config, seed=seed)
+        results.append(
+            AblationResult(
+                parameter="leakage_factor",
+                value=f"{factor:g}",
+                etr=comparison.execution_time_reduction,
+                ecs_035=comparison.energy_saving(technologies[0].name),
+                ecs_007=comparison.energy_saving(technologies[1].name),
+            )
+        )
+    return results
+
+
+def annealing_effort_ablation(
+    cdcg: CDCG,
+    platform: Platform,
+    schedules: Optional[Sequence[AnnealingSchedule]] = None,
+    seed: RandomSource = 0,
+) -> List[AblationResult]:
+    """Sweep the simulated-annealing effort (cooling speed / evaluation cap)."""
+    if schedules is None:
+        schedules = (
+            AnnealingSchedule(
+                cooling_factor=0.7, max_evaluations=500, stall_plateaus=5
+            ),
+            AnnealingSchedule(
+                cooling_factor=0.85, max_evaluations=2_000, stall_plateaus=10
+            ),
+            AnnealingSchedule(
+                cooling_factor=0.95, max_evaluations=10_000, stall_plateaus=25
+            ),
+        )
+    results = []
+    for schedule in schedules:
+        config = ComparisonConfig(annealing_schedule=schedule)
+        label = f"cool={schedule.cooling_factor:g},max={schedule.max_evaluations}"
+        results.append(
+            _run(cdcg, platform, config, seed, parameter="sa_effort", value=label)
+        )
+    return results
+
+
+def local_link_ablation(
+    cdcg: CDCG,
+    platform: Platform,
+    config: Optional[ComparisonConfig] = None,
+    seed: RandomSource = 0,
+) -> List[AblationResult]:
+    """Inter-router-link contention only (paper) vs also serialising local links."""
+    config = config or ComparisonConfig()
+    results = []
+    for serialize in (False, True):
+        parameters = replace(platform.parameters, serialize_local_links=serialize)
+        results.append(
+            _run(
+                cdcg,
+                platform.with_parameters(parameters),
+                config,
+                seed,
+                parameter="serialize_local_links",
+                value=str(serialize),
+            )
+        )
+    return results
+
+
+__all__ = [
+    "AblationResult",
+    "routing_ablation",
+    "leakage_ablation",
+    "annealing_effort_ablation",
+    "local_link_ablation",
+]

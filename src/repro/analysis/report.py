@@ -1,0 +1,118 @@
+"""Markdown report writers.
+
+The benchmark harness uses these helpers to turn comparison results and table
+rows into the markdown fragments recorded in EXPERIMENTS.md, so the
+paper-vs-measured bookkeeping never has to be edited by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.comparison import ModelComparison
+from repro.analysis.tables import Table1Row, Table2Row
+
+
+def table_rows_to_markdown(
+    headers: Sequence[str], rows: Iterable[Sequence[str]]
+) -> str:
+    """Render a generic markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def table1_to_markdown(rows: Sequence[Table1Row]) -> str:
+    """Markdown rendering of Table 1."""
+    body = [
+        (
+            row.noc_label,
+            "; ".join(str(c) for c in row.num_cores),
+            "; ".join(str(p) for p in row.num_packets),
+            "; ".join(f"{b:,}" for b in row.total_bits),
+        )
+        for row in rows
+    ]
+    return table_rows_to_markdown(
+        ["NoC size", "Number of cores", "Number of packets", "Total bits"], body
+    )
+
+
+def table2_to_markdown(
+    rows: Sequence[Table2Row],
+    paper_values: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """Markdown rendering of Table 2, optionally with paper-vs-measured columns.
+
+    Parameters
+    ----------
+    paper_values:
+        Optional mapping from NoC-size label to the paper's percentages, e.g.
+        ``{"3 x 2": {"ETR": 36.0, "ECS0.35": 0.50, "ECS0.07": 15.0}}``.
+    """
+    headers: List[str] = ["NoC size", "Algorithm", "ETR", "ECS 0.35um", "ECS 0.07um"]
+    include_paper = paper_values is not None
+    if include_paper:
+        headers += ["ETR (paper)", "ECS 0.35um (paper)", "ECS 0.07um (paper)"]
+
+    body = []
+    for row in rows:
+        cells: List[str] = [
+            row.noc_label,
+            row.algorithm,
+            f"{row.etr:.1%}",
+            f"{row.ecs_035:.2%}",
+            f"{row.ecs_007:.1%}",
+        ]
+        if include_paper:
+            reference = (paper_values or {}).get(row.noc_label, {})
+            cells += [
+                _fmt_percent(reference.get("ETR")),
+                _fmt_percent(reference.get("ECS0.35")),
+                _fmt_percent(reference.get("ECS0.07")),
+            ]
+        body.append(cells)
+    return table_rows_to_markdown(headers, body)
+
+
+def _fmt_percent(value: Optional[float]) -> str:
+    return f"{value:.2f}%" if value is not None else "-"
+
+
+def comparison_to_markdown(comparisons: Sequence[ModelComparison]) -> str:
+    """One markdown row per individual application comparison."""
+    body = []
+    for comparison in comparisons:
+        cells = [
+            comparison.application,
+            comparison.noc_label,
+            comparison.method,
+            f"{comparison.execution_time_reduction:.1%}",
+        ]
+        cells += [
+            f"{result.energy_saving:.2%}"
+            for result in comparison.technology_results
+        ]
+        cells.append(f"{comparison.cpu_time_ratio:.2f}")
+        body.append(cells)
+    technology_headers = (
+        [f"ECS {r.technology}" for r in comparisons[0].technology_results]
+        if comparisons
+        else []
+    )
+    headers = (
+        ["Application", "NoC", "Method", "ETR"] + technology_headers + ["CPU ratio"]
+    )
+    return table_rows_to_markdown(headers, body)
+
+
+__all__ = [
+    "table_rows_to_markdown",
+    "table1_to_markdown",
+    "table2_to_markdown",
+    "comparison_to_markdown",
+]

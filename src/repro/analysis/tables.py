@@ -1,0 +1,222 @@
+"""Regeneration of the paper's tables.
+
+* :func:`generate_table1` — Table 1, the characterisation of the benchmark
+  suite (NoC size, cores, packets, total bits): a direct readout of the
+  generated applications, proving the suite matches the published aggregates.
+* :func:`generate_table2` — Table 2, the CWM-vs-CDCM comparison: average
+  execution-time reduction (ETR) and energy-consumption savings (ECS) per NoC
+  size, for both technologies, plus the overall averages of the last row.
+
+Both return plain row dataclasses so benches and tests can assert on the
+numbers, and have ``render_*`` companions producing the ASCII tables printed
+by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.comparison import ComparisonConfig, ModelComparison, compare_models
+from repro.energy.technology import TECH_0_07UM, TECH_0_35UM
+from repro.noc.platform import NocParameters, Platform
+from repro.noc.routing import XYRouting
+from repro.utils.rng import RandomSource, spawn_seeds
+from repro.workloads.suite import SuiteEntry, table1_suite
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One NoC-size row of Table 1 (values of the up-to-3 benchmarks joined)."""
+
+    noc_label: str
+    num_cores: List[int]
+    num_packets: List[int]
+    total_bits: List[int]
+
+
+def generate_table1(entries: Optional[Sequence[SuiteEntry]] = None) -> List[Table1Row]:
+    """Build Table 1 rows by generating every benchmark and measuring it.
+
+    The row values are measured on the *generated* CDCGs (not copied from the
+    entry specs), so the table doubles as a regression check that the
+    generator honours its contract exactly.
+    """
+    entries = list(entries) if entries is not None else table1_suite()
+    grouped: Dict[str, List[SuiteEntry]] = {}
+    order: List[str] = []
+    for entry in entries:
+        if entry.noc_label not in grouped:
+            order.append(entry.noc_label)
+        grouped.setdefault(entry.noc_label, []).append(entry)
+
+    rows = []
+    for label in order:
+        cores, packets, bits = [], [], []
+        for entry in grouped[label]:
+            cdcg = entry.build()
+            cores.append(cdcg.num_cores)
+            packets.append(cdcg.num_packets)
+            bits.append(cdcg.total_bits())
+        rows.append(
+            Table1Row(
+                noc_label=label,
+                num_cores=cores,
+                num_packets=packets,
+                total_bits=bits,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """ASCII rendering of Table 1."""
+    header = (
+        f"{'NoC size':<10} {'Number of cores':<18} "
+        f"{'Number of packets':<20} {'Total volume of bits':<30}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.noc_label:<10} "
+            f"{'; '.join(str(c) for c in row.num_cores):<18} "
+            f"{'; '.join(str(p) for p in row.num_packets):<20} "
+            f"{'; '.join(f'{b:,}' for b in row.total_bits):<30}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One NoC-size row of Table 2 (averages over that size's benchmarks)."""
+
+    noc_label: str
+    algorithm: str
+    etr: float
+    ecs_035: float
+    ecs_007: float
+    cpu_time_ratio: float
+    num_applications: int
+
+    def as_percentages(self) -> Dict[str, float]:
+        """The row's metrics expressed in percent (as the paper prints them)."""
+        return {
+            "ETR": 100.0 * self.etr,
+            "ECS0.35": 100.0 * self.ecs_035,
+            "ECS0.07": 100.0 * self.ecs_007,
+        }
+
+
+def generate_table2(
+    entries: Optional[Sequence[SuiteEntry]] = None,
+    config: Optional[ComparisonConfig] = None,
+    seed: RandomSource = 0,
+    parameters: Optional[NocParameters] = None,
+    keep_comparisons: bool = False,
+) -> tuple[List[Table2Row], List[ModelComparison]]:
+    """Run the Table 2 experiment.
+
+    For every suite entry: build the benchmark, build its platform (the
+    entry's mesh with the default wormhole parameters and XY routing), run the
+    CWM-vs-CDCM comparison and average the metrics per NoC size.  A final
+    ``"average"`` row aggregates all applications, like the last row of the
+    paper's table.
+
+    Returns the rows and (when *keep_comparisons* is true) the individual
+    per-application comparisons.
+    """
+    entries = list(entries) if entries is not None else table1_suite()
+    config = config or ComparisonConfig()
+    parameters = parameters or NocParameters()
+    seeds = spawn_seeds(seed, len(entries))
+
+    comparisons: List[ModelComparison] = []
+    for entry, entry_seed in zip(entries, seeds):
+        cdcg = entry.build()
+        platform = Platform(
+            mesh=entry.mesh,
+            routing=XYRouting(),
+            parameters=parameters,
+            technology=TECH_0_07UM,
+        )
+        comparison = compare_models(cdcg, platform, config, seed=entry_seed)
+        comparisons.append(comparison)
+
+    rows = _aggregate_rows(entries, comparisons, config)
+    return rows, (comparisons if keep_comparisons else [])
+
+
+def _aggregate_rows(
+    entries: Sequence[SuiteEntry],
+    comparisons: Sequence[ModelComparison],
+    config: ComparisonConfig,
+) -> List[Table2Row]:
+    algorithm = "SA" if config.method in ("annealing", "sa") else "ES"
+    grouped: Dict[str, List[ModelComparison]] = {}
+    order: List[str] = []
+    for entry, comparison in zip(entries, comparisons):
+        if entry.noc_label not in grouped:
+            order.append(entry.noc_label)
+        grouped.setdefault(entry.noc_label, []).append(comparison)
+
+    rows: List[Table2Row] = []
+    for label in order:
+        rows.append(_mean_row(label, algorithm, grouped[label]))
+    if comparisons:
+        rows.append(_mean_row("average", algorithm, list(comparisons)))
+    return rows
+
+
+def _mean_row(
+    label: str, algorithm: str, comparisons: Sequence[ModelComparison]
+) -> Table2Row:
+    count = len(comparisons)
+
+    def mean(values: Sequence[float]) -> float:
+        return sum(values) / count if count else 0.0
+
+    return Table2Row(
+        noc_label=label,
+        algorithm=algorithm,
+        etr=mean([c.execution_time_reduction for c in comparisons]),
+        ecs_035=mean([c.energy_saving(TECH_0_35UM.name) for c in comparisons]),
+        ecs_007=mean([c.energy_saving(TECH_0_07UM.name) for c in comparisons]),
+        cpu_time_ratio=mean([c.cpu_time_ratio for c in comparisons]),
+        num_applications=count,
+    )
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """ASCII rendering of Table 2 (plus the CPU-time ratio column we add)."""
+    header = (
+        f"{'NoC size':<10} {'Algorithm':<10} {'ETR':>8} {'ECS0.35':>9} "
+        f"{'ECS0.07':>9} {'CPU ratio':>10} {'#apps':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.noc_label:<10} {row.algorithm:<10} "
+            f"{row.etr:>7.1%} {row.ecs_035:>8.2%} {row.ecs_007:>8.1%} "
+            f"{row.cpu_time_ratio:>10.2f} {row.num_applications:>6}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "generate_table1",
+    "generate_table2",
+    "render_table1",
+    "render_table2",
+]

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: mapping models and the FRW framework.
+
+* :class:`~repro.core.mapping.Mapping` — an assignment of application cores to
+  NoC tiles (the object the search engines explore);
+* :class:`~repro.core.cwm.CwmEvaluator` — the communication weighted model:
+  evaluates a mapping by its dynamic energy alone (equation 3);
+* :class:`~repro.core.cdcm.CdcmEvaluator` — the communication dependence and
+  computation model: replays the CDCG, obtaining execution time, contention
+  and total (static + dynamic) energy (equations 4–10);
+* :mod:`~repro.core.objective` — objective-function adapters binding an
+  application and platform so search engines only see ``mapping -> cost``;
+* :class:`~repro.core.framework.FRWFramework` — the front-end tying an
+  application, a platform, a model (CWM/CDCM) and a search method (exhaustive
+  search or simulated annealing) together, mirroring the paper's FRW
+  framework.
+"""
+
+from repro.core.mapping import Mapping
+from repro.core.cwm import CwmEvaluator, CwmReport
+from repro.core.cdcm import CdcmEvaluator, CdcmReport
+from repro.core.objective import (
+    CountingObjective,
+    cwm_objective,
+    cdcm_objective,
+)
+from repro.core.framework import FRWFramework, MappingOutcome
+
+__all__ = [
+    "Mapping",
+    "CwmEvaluator",
+    "CwmReport",
+    "CdcmEvaluator",
+    "CdcmReport",
+    "CountingObjective",
+    "cwm_objective",
+    "cdcm_objective",
+    "FRWFramework",
+    "MappingOutcome",
+]

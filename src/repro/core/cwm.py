@@ -1,0 +1,176 @@
+"""The Communication Weighted Model (CWM) mapping evaluator.
+
+Implements the CWM algorithm of Section 4: for a candidate mapping, every CWG
+edge's bit volume is "walked" along the XY route between the tiles its source
+and target cores are mapped to, accumulating into the cost variable of every
+CRG vertex (router) and edge (link) it crosses.  Multiplying the router costs
+by ``ERbit`` and the link costs by ``ELbit`` and summing gives ``EDyNoC``
+(equation 3) — the CWM objective function.
+
+Because the model carries no timing information, CWM cannot distinguish
+mappings that differ only in contention or execution time (Figure 2 of the
+paper shows two such mappings with identical CWM cost); that blind spot is
+what the CDCM evaluator (:mod:`repro.core.cdcm`) removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from repro.energy.bit_energy import bit_energy_route
+from repro.energy.totals import EnergyBreakdown
+from repro.graphs.cwg import CWG
+from repro.noc.platform import Platform
+from repro.noc.resources import (
+    LinkResource,
+    LocalLinkResource,
+    Resource,
+    RouterResource,
+)
+from repro.core.mapping import Mapping
+from repro.utils.errors import MappingError
+
+
+@dataclass
+class CwmReport:
+    """Full CWM evaluation of one mapping.
+
+    Attributes
+    ----------
+    application:
+        CWG name.
+    dynamic_energy:
+        ``EDyNoC`` (equation 3) in pJ — the CWM objective value.
+    resource_bits:
+        The CRG cost variables: bits accumulated on every router, link and
+        local link crossed by any communication (the numbers annotated in
+        Figure 2 of the paper).
+    resource_energy:
+        The same costs multiplied by the per-bit energy of each resource kind.
+    """
+
+    application: str
+    dynamic_energy: float
+    resource_bits: Dict[Resource, int] = field(default_factory=dict)
+    resource_energy: Dict[Resource, float] = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> float:
+        """CWM total energy — identical to the dynamic term (no timing model)."""
+        return self.dynamic_energy
+
+    def energy_breakdown(self, technology_name: str) -> EnergyBreakdown:
+        """Represent this report as an :class:`EnergyBreakdown` (static = 0)."""
+        return EnergyBreakdown(
+            dynamic=self.dynamic_energy,
+            static=0.0,
+            execution_time=None,
+            technology_name=technology_name,
+        )
+
+    def router_bits(self, tile: int) -> int:
+        """Cost variable of the router at *tile* (0 if never crossed)."""
+        return self.resource_bits.get(RouterResource(tile), 0)
+
+    def link_bits(self, source: int, target: int) -> int:
+        """Cost variable of the link *source* -> *target* (0 if never crossed)."""
+        return self.resource_bits.get(LinkResource(source, target), 0)
+
+
+class CwmEvaluator:
+    """Evaluates mappings under the communication weighted model.
+
+    Parameters
+    ----------
+    platform:
+        Target architecture; its technology provides ``ERbit``/``ELbit``.
+    include_local:
+        Whether the local core-router links contribute ``ECbit`` per bit
+        (the paper neglects them; the default follows the technology — a zero
+        ``e_cbit`` makes the flag irrelevant).
+    """
+
+    def __init__(self, platform: Platform, include_local: bool = True) -> None:
+        self.platform = platform
+        self.include_local = include_local
+
+    # ------------------------------------------------------------------
+    # Objective function
+    # ------------------------------------------------------------------
+    def cost(self, cwg: CWG, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        """``EDyNoC`` of the mapping — the value the CWM search minimises."""
+        tiles = _assignments(mapping)
+        technology = self.platform.technology
+        total = 0.0
+        for comm in cwg.communications():
+            hops = self.platform.hop_count(
+                _tile(tiles, comm.source, cwg.name),
+                _tile(tiles, comm.target, cwg.name),
+            )
+            total += comm.bits * bit_energy_route(
+                technology, hops, self.include_local
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Full report
+    # ------------------------------------------------------------------
+    def evaluate(self, cwg: CWG, mapping: Union[Mapping, Dict[str, int]]) -> CwmReport:
+        """Produce the per-resource cost variables and the total dynamic energy."""
+        tiles = _assignments(mapping)
+        technology = self.platform.technology
+        resource_bits: Dict[Resource, int] = {}
+        for comm in cwg.communications():
+            source_tile = _tile(tiles, comm.source, cwg.name)
+            target_tile = _tile(tiles, comm.target, cwg.name)
+            path = self.platform.route(source_tile, target_tile)
+            _accumulate(resource_bits, LocalLinkResource(source_tile), comm.bits)
+            for router in path:
+                _accumulate(resource_bits, RouterResource(router), comm.bits)
+            for link_source, link_target in zip(path, path[1:]):
+                _accumulate(
+                    resource_bits, LinkResource(link_source, link_target), comm.bits
+                )
+            _accumulate(resource_bits, LocalLinkResource(target_tile), comm.bits)
+
+        resource_energy: Dict[Resource, float] = {}
+        total = 0.0
+        for resource, bits in resource_bits.items():
+            if isinstance(resource, RouterResource):
+                per_bit = technology.e_rbit
+            elif isinstance(resource, LinkResource):
+                per_bit = technology.e_lbit
+            else:
+                per_bit = technology.e_cbit if self.include_local else 0.0
+            energy = bits * per_bit
+            resource_energy[resource] = energy
+            total += energy
+        return CwmReport(
+            application=cwg.name,
+            dynamic_energy=total,
+            resource_bits=resource_bits,
+            resource_energy=resource_energy,
+        )
+
+
+def _accumulate(store: Dict[Resource, int], resource: Resource, bits: int) -> None:
+    store[resource] = store.get(resource, 0) + bits
+
+
+def _assignments(mapping: Union[Mapping, Dict[str, int]]) -> Dict[str, int]:
+    if isinstance(mapping, Mapping):
+        return mapping.assignments()
+    return dict(mapping)
+
+
+def _tile(tiles: Dict[str, int], core: str, application: str) -> int:
+    try:
+        return tiles[core]
+    except KeyError as exc:
+        raise MappingError(
+            f"mapping does not place core {core!r} of application {application!r}"
+        ) from exc
+
+
+__all__ = ["CwmEvaluator", "CwmReport"]

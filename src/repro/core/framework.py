@@ -1,0 +1,214 @@
+"""The FRW framework: model + search + platform, in one front-end.
+
+The paper's FRW framework "implements a simulated annealing search method to
+obtain mapping solutions for CWM and CDCM [and] can also execute an exhaustive
+search method to compare the quality of solutions against an absolute optimum
+solution, for small NoCs".  :class:`FRWFramework` reproduces that workflow:
+
+>>> framework = FRWFramework(cdcg, platform)            # doctest: +SKIP
+>>> cwm_outcome = framework.map(model="cwm", method="sa", seed=1)
+>>> cdcm_outcome = framework.map(model="cdcm", method="sa", seed=1)
+>>> framework.evaluate(cwm_outcome.mapping).execution_time   # always CDCM-priced
+
+Whatever model drove the search, :meth:`FRWFramework.evaluate` prices the
+resulting mapping under the full CDCM model (schedule replay + equation 10),
+which is how the paper's Table 2 compares the two — the models compete on the
+quality of the mapping they find, judged by the richer model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.cdcm import CdcmEvaluator, CdcmReport
+from repro.core.cwm import CwmEvaluator
+from repro.core.mapping import Mapping
+from repro.core.objective import CountingObjective, cdcm_objective, cwm_objective
+from repro.energy.technology import Technology
+from repro.graphs.cdcg import CDCG
+from repro.graphs.convert import cdcg_to_cwg
+from repro.graphs.cwg import CWG
+from repro.noc.platform import Platform
+from repro.search.base import SearchResult, Searcher
+from repro.search.greedy import GreedyConstructive
+from repro.search.registry import get_searcher
+from repro.utils.errors import ConfigurationError, MappingError
+from repro.utils.rng import RandomSource, ensure_rng
+
+#: Models the framework can search with.
+_MODELS = ("cwm", "cdcm")
+
+
+@dataclass
+class MappingOutcome:
+    """Result of one framework mapping run.
+
+    Attributes
+    ----------
+    model:
+        ``"cwm"`` or ``"cdcm"`` — the model whose objective drove the search.
+    method:
+        Name of the search engine used.
+    mapping:
+        Best mapping found.
+    cost:
+        Its objective value *under the model that searched for it* (CWM cost
+        for CWM runs, CDCM cost for CDCM runs — they are not directly
+        comparable; use :meth:`FRWFramework.evaluate` for a common yardstick).
+    search:
+        Full search trace.
+    evaluations:
+        Number of objective evaluations.
+    cpu_time:
+        Wall-clock seconds spent evaluating the objective (the quantity behind
+        the paper's "CDCM took at most 23 % more CPU time" claim).
+    """
+
+    model: str
+    method: str
+    mapping: Mapping
+    cost: float
+    search: SearchResult
+    evaluations: int
+    cpu_time: float
+
+
+class FRWFramework:
+    """Front-end binding an application, a platform, the two models and the
+    search engines.
+
+    Parameters
+    ----------
+    cdcg:
+        Packet-level application model.  The CWG used by CWM runs is derived
+        from it automatically (unless *cwg* is supplied explicitly).
+    platform:
+        Target NoC.
+    cwg:
+        Optional explicit CWG.  Must be consistent with the CDCG; supplying it
+        is only useful when the application was natively captured as a CWG and
+        the CDCG was produced later by hand, as the paper describes.
+    """
+
+    def __init__(
+        self,
+        cdcg: CDCG,
+        platform: Platform,
+        cwg: Optional[CWG] = None,
+    ) -> None:
+        cdcg.validate()
+        if cdcg.num_cores > platform.num_tiles:
+            raise MappingError(
+                f"application {cdcg.name!r} has {cdcg.num_cores} cores but the "
+                f"platform only has {platform.num_tiles} tiles"
+            )
+        self.cdcg = cdcg
+        self.cwg = cwg if cwg is not None else cdcg_to_cwg(cdcg)
+        self.platform = platform
+        self._cdcm_evaluator = CdcmEvaluator(platform)
+        self._cwm_evaluator = CwmEvaluator(platform)
+
+    # ------------------------------------------------------------------
+    # Mapping search
+    # ------------------------------------------------------------------
+    def objective(self, model: str) -> CountingObjective:
+        """The counting objective of one model, bound to this application."""
+        if model not in _MODELS:
+            raise ConfigurationError(
+                f"unknown model {model!r}; expected one of {_MODELS}"
+            )
+        if model == "cwm":
+            return cwm_objective(self.cwg, self.platform)
+        return cdcm_objective(self.cdcg, self.platform)
+
+    def initial_mapping(self, seed: RandomSource = None) -> Mapping:
+        """Random initial mapping (the paper's starting condition)."""
+        return Mapping.random(
+            self.cdcg.cores(), self.platform.num_tiles, ensure_rng(seed)
+        )
+
+    def greedy_mapping(self) -> Mapping:
+        """Deterministic greedy constructive mapping (baseline/extension)."""
+        return GreedyConstructive(self.cwg, self.platform).construct()
+
+    def map(
+        self,
+        model: str = "cdcm",
+        method: str = "annealing",
+        seed: RandomSource = None,
+        initial: Optional[Mapping] = None,
+        searcher: Optional[Searcher] = None,
+        **searcher_kwargs,
+    ) -> MappingOutcome:
+        """Search for a mapping with the given model and search method.
+
+        Parameters
+        ----------
+        model:
+            ``"cwm"`` or ``"cdcm"``.
+        method:
+            Search engine name (``"annealing"``/``"sa"``, ``"exhaustive"``/
+            ``"es"``, ``"random"``, ``"genetic"``); ignored when *searcher* is
+            given.
+        seed:
+            Seed (or generator) for the initial mapping and the stochastic
+            search.
+        initial:
+            Optional explicit starting mapping.
+        searcher:
+            Optional pre-built engine instance (overrides *method*).
+        searcher_kwargs:
+            Forwarded to the engine constructor when built from *method*.
+        """
+        generator = ensure_rng(seed)
+        objective = self.objective(model)
+        start = initial if initial is not None else self.initial_mapping(generator)
+        engine = searcher if searcher is not None else get_searcher(
+            method, **searcher_kwargs
+        )
+
+        begin = time.perf_counter()
+        result = engine.search(objective, start, generator)
+        elapsed = time.perf_counter() - begin
+
+        return MappingOutcome(
+            model=model,
+            method=engine.name,
+            mapping=result.best_mapping,
+            cost=result.best_cost,
+            search=result,
+            evaluations=objective.evaluations,
+            cpu_time=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        mapping: Mapping,
+        technology: Optional[Technology] = None,
+    ) -> CdcmReport:
+        """Price a mapping under the full CDCM model (optionally re-priced
+        under a different technology)."""
+        return self._cdcm_evaluator.evaluate(self.cdcg, mapping, technology)
+
+    def evaluate_cwm_cost(self, mapping: Mapping) -> float:
+        """Dynamic-energy cost of a mapping under CWM (equation 3)."""
+        return self._cwm_evaluator.cost(self.cwg, mapping)
+
+    def evaluate_many(
+        self,
+        mappings: Dict[str, Mapping],
+        technology: Optional[Technology] = None,
+    ) -> Dict[str, CdcmReport]:
+        """Evaluate several named mappings under CDCM in one call."""
+        return {
+            name: self.evaluate(mapping, technology)
+            for name, mapping in mappings.items()
+        }
+
+
+__all__ = ["FRWFramework", "MappingOutcome"]

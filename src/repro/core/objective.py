@@ -1,0 +1,106 @@
+"""Objective-function adapters.
+
+Search engines (:mod:`repro.search`) explore the space of
+:class:`~repro.core.mapping.Mapping` objects and only ever see a callable
+``mapping -> cost``.  The helpers here bind an application graph, a platform
+and a model (CWM or CDCM) into such a callable, and wrap it with evaluation
+counting so the CPU-cost comparison of Section 5 (CWM vs CDCM evaluation
+effort) can be reported.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.core.cdcm import CdcmEvaluator
+from repro.core.cwm import CwmEvaluator
+from repro.core.mapping import Mapping
+from repro.graphs.cdcg import CDCG
+from repro.graphs.cwg import CWG
+from repro.noc.platform import Platform
+
+#: The signature every search engine expects.
+ObjectiveFunction = Callable[[Mapping], float]
+
+
+class CountingObjective:
+    """Wrap an objective function, counting calls and accumulating CPU time.
+
+    Attributes
+    ----------
+    evaluations:
+        Number of times the objective has been called.
+    elapsed:
+        Total wall-clock seconds spent inside the wrapped function.
+    """
+
+    def __init__(self, function: ObjectiveFunction, name: str = "objective") -> None:
+        self._function = function
+        self.name = name
+        self.evaluations = 0
+        self.elapsed = 0.0
+
+    def __call__(self, mapping: Mapping) -> float:
+        start = time.perf_counter()
+        try:
+            return self._function(mapping)
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.evaluations += 1
+
+    def reset(self) -> None:
+        """Zero the counters (e.g. between search runs)."""
+        self.evaluations = 0
+        self.elapsed = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingObjective(name={self.name!r}, evaluations={self.evaluations}, "
+            f"elapsed={self.elapsed:.3f}s)"
+        )
+
+
+def cwm_objective(
+    cwg: CWG,
+    platform: Platform,
+    include_local: bool = True,
+) -> CountingObjective:
+    """Objective minimising CWM dynamic energy (equation 3)."""
+    evaluator = CwmEvaluator(platform, include_local=include_local)
+
+    def cost(mapping: Mapping) -> float:
+        return evaluator.cost(cwg, mapping)
+
+    return CountingObjective(cost, name=f"cwm({cwg.name})")
+
+
+def cdcm_objective(
+    cdcg: CDCG,
+    platform: Platform,
+    metric: str = "energy",
+    energy_weight: float = 1.0,
+    time_weight: float = 0.0,
+    include_local: bool = True,
+) -> CountingObjective:
+    """Objective minimising CDCM total energy (equation 10) or execution time."""
+    evaluator = CdcmEvaluator(
+        platform,
+        metric=metric,
+        energy_weight=energy_weight,
+        time_weight=time_weight,
+        include_local=include_local,
+    )
+
+    def cost(mapping: Mapping) -> float:
+        return evaluator.cost(cdcg, mapping)
+
+    return CountingObjective(cost, name=f"cdcm({cdcg.name},{metric})")
+
+
+__all__ = [
+    "ObjectiveFunction",
+    "CountingObjective",
+    "cwm_objective",
+    "cdcm_objective",
+]

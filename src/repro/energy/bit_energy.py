@@ -1,0 +1,62 @@
+"""Bit-energy model — equations (1) and (2) of the paper.
+
+``EBit`` is the dynamic energy one bit dissipates when traversing the NoC.
+Equation (1) decomposes it into the router component ``ERbit``, the inter-tile
+link component ``ELbit`` (horizontal and vertical links are assumed equal for
+square tiles) and the local core-link component ``ECbit``.  Equation (2)
+generalises it to a route through ``K`` routers:
+
+    EBit_ij = K x ERbit + (K - 1) x ELbit
+
+The paper neglects ``ECbit`` for large tiles; the functions below accept an
+``include_local`` flag so the local links can be accounted for when a
+technology provides a non-zero ``ECbit``.
+"""
+
+from __future__ import annotations
+
+from repro.energy.technology import Technology
+from repro.utils.errors import ConfigurationError
+
+
+def bit_energy_per_hop(technology: Technology, vertical: bool = False) -> float:
+    """``EBit`` of equation (1): energy of one bit crossing one router and one link.
+
+    The *vertical* flag exists for completeness; with square tiles
+    ``ELHbit == ELVbit`` and the flag has no effect.
+    """
+    del vertical  # square tiles: horizontal and vertical links are identical
+    return technology.e_rbit + technology.e_lbit + technology.e_cbit
+
+
+def bit_energy_route(
+    technology: Technology,
+    hop_count: int,
+    include_local: bool = True,
+) -> float:
+    """``EBit_ij`` of equation (2): energy of one bit traversing *hop_count* routers.
+
+    Parameters
+    ----------
+    technology:
+        Per-bit energy parameters.
+    hop_count:
+        ``K`` — number of routers on the route (source and target routers
+        included), at least 1.
+    include_local:
+        When True, the two local core-router links (injection at the source
+        tile, ejection at the target tile) contribute ``2 x ECbit``.  The
+        paper neglects this term; technologies with ``e_cbit == 0`` make the
+        flag irrelevant.
+    """
+    if hop_count < 1:
+        raise ConfigurationError(
+            f"a route traverses at least one router, got hop_count={hop_count}"
+        )
+    energy = hop_count * technology.e_rbit + (hop_count - 1) * technology.e_lbit
+    if include_local:
+        energy += 2 * technology.e_cbit
+    return energy
+
+
+__all__ = ["bit_energy_per_hop", "bit_energy_route"]

@@ -1,0 +1,49 @@
+"""Static (leakage) power and energy — equations (5) and (9) of the paper.
+
+Static power comes from leakage current and is proportional to the number of
+gates; at the NoC level the paper models it as the router leakage ``PSRouter``
+multiplied by the number of tiles (equation 5).  Static *energy* is that power
+integrated over the application execution time (equation 9) — which is why
+only a model that can estimate ``texec`` (CDCM) can estimate it at all.
+"""
+
+from __future__ import annotations
+
+from repro.energy.technology import Technology
+from repro.utils.errors import ConfigurationError
+
+
+def noc_static_power(technology: Technology, num_tiles: int) -> float:
+    """``PstNoC = n x PSRouter`` (equation 5), in pJ/ns.
+
+    Parameters
+    ----------
+    technology:
+        Provides the per-router leakage power ``PSRouter``.
+    num_tiles:
+        ``n`` — number of tiles (routers) of the NoC.
+    """
+    if num_tiles <= 0:
+        raise ConfigurationError(f"number of tiles must be positive, got {num_tiles}")
+    return num_tiles * technology.router_static_power
+
+
+def noc_static_energy(
+    technology: Technology, num_tiles: int, execution_time: float
+) -> float:
+    """``EstNoC = PstNoC x texec`` (equation 9), in pJ.
+
+    Parameters
+    ----------
+    execution_time:
+        Application execution time ``texec`` in nanoseconds, as produced by
+        the CDCM scheduler.
+    """
+    if execution_time < 0:
+        raise ConfigurationError(
+            f"execution time must be non-negative, got {execution_time}"
+        )
+    return noc_static_power(technology, num_tiles) * execution_time
+
+
+__all__ = ["noc_static_power", "noc_static_energy"]

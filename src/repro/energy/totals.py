@@ -1,0 +1,123 @@
+"""Total NoC energy — equation (10) of the paper, plus reporting helpers.
+
+``ENoC(CDCM) = EstNoC + EDyNoC(CDCM)``: only the CDCM model, which knows the
+application execution time, can add the static term.  For CWM the total is the
+dynamic term alone (the model simply cannot see the rest), which is exactly
+the blind spot the paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.energy.dynamic import cdcm_dynamic_energy, cwm_dynamic_energy
+from repro.energy.static import noc_static_energy
+from repro.energy.technology import Technology
+from repro.graphs.cwg import CWG
+from repro.utils.units import format_energy, format_time
+
+if TYPE_CHECKING:  # pragma: no cover - imported for type checking only
+    from repro.noc.platform import Platform
+    from repro.noc.scheduler import ScheduleResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Dynamic + static decomposition of NoC energy for one evaluated mapping.
+
+    Attributes
+    ----------
+    dynamic:
+        ``EDyNoC`` in pJ.
+    static:
+        ``EstNoC`` in pJ (zero when the model cannot estimate it, i.e. CWM).
+    execution_time:
+        ``texec`` in ns (``None`` for CWM, which cannot estimate it).
+    technology_name:
+        Name of the technology the figures were computed for.
+    """
+
+    dynamic: float
+    static: float
+    execution_time: float | None
+    technology_name: str
+
+    @property
+    def total(self) -> float:
+        """``ENoC`` in pJ."""
+        return self.dynamic + self.static
+
+    @property
+    def static_fraction(self) -> float:
+        """Share of static energy in the total (0 when total is 0)."""
+        total = self.total
+        return self.static / total if total > 0 else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        time_part = (
+            f", texec={format_time(self.execution_time)}"
+            if self.execution_time is not None
+            else ""
+        )
+        return (
+            f"[{self.technology_name}] total={format_energy(self.total)} "
+            f"(dynamic={format_energy(self.dynamic)}, "
+            f"static={format_energy(self.static)}, "
+            f"{self.static_fraction:.1%} static{time_part})"
+        )
+
+
+def total_energy_cdcm(
+    schedule: ScheduleResult,
+    platform: Platform,
+    technology: Technology | None = None,
+    include_local: bool = True,
+) -> EnergyBreakdown:
+    """``ENoC`` under CDCM (equation 10) for an already-computed schedule.
+
+    Parameters
+    ----------
+    schedule:
+        Result of :meth:`repro.noc.scheduler.CdcmScheduler.schedule`.
+    platform:
+        Provides the number of tiles; its technology is used unless
+        *technology* overrides it (useful to re-price one schedule under
+        several technologies, as Table 2 does with its two ECS columns).
+    """
+    tech = technology or platform.technology
+    dynamic = cdcm_dynamic_energy(schedule, tech, include_local)
+    static = noc_static_energy(tech, platform.num_tiles, schedule.execution_time)
+    return EnergyBreakdown(
+        dynamic=dynamic,
+        static=static,
+        execution_time=schedule.execution_time,
+        technology_name=tech.name,
+    )
+
+
+def total_energy_cwm(
+    cwg: CWG,
+    mapping,
+    platform: Platform,
+    technology: Technology | None = None,
+    include_local: bool = True,
+) -> EnergyBreakdown:
+    """``ENoC`` under CWM: the dynamic term only (equation 3).
+
+    The static term is reported as zero — not because the NoC does not leak,
+    but because the CWM abstraction has no execution time to integrate the
+    leakage power over.  That modelling blind spot is the paper's point.
+    """
+    tech = technology or platform.technology
+    dynamic = cwm_dynamic_energy(cwg, mapping, platform, include_local)
+    return EnergyBreakdown(
+        dynamic=dynamic,
+        static=0.0,
+        execution_time=None,
+        technology_name=tech.name,
+    )
+
+
+__all__ = ["EnergyBreakdown", "total_energy_cdcm", "total_energy_cwm"]

@@ -1,0 +1,60 @@
+"""Application and architecture graph structures.
+
+This package implements the three graph structures defined in Section 3.1 of
+the paper:
+
+* :class:`~repro.graphs.cwg.CWG` — the *communication weighted graph*
+  (Definition 1): one vertex per IP core, one weighted edge per communicating
+  pair of cores.  It is the input of the CWM mapping algorithm.
+* :class:`~repro.graphs.cdcg.CDCG` — the *communication dependence and
+  computation graph* (Definition 2): one vertex per packet, plus ``Start`` and
+  ``End`` vertices, edges expressing packet dependences.  It is the input of
+  the CDCM mapping algorithm.
+* :class:`~repro.graphs.crg.CRG` — the *communication resource graph*
+  (Definition 3): one vertex per tile/router of the target NoC, one edge per
+  physical link.
+
+The :mod:`repro.graphs.convert` module collapses a CDCG into the CWG that the
+paper's CWM algorithm would see for the same application, and
+:mod:`repro.graphs.io` serialises all three structures to/from JSON and DOT.
+"""
+
+from repro.graphs.cwg import CWG, Communication
+from repro.graphs.cdcg import CDCG, Packet, START, END
+from repro.graphs.crg import CRG, Tile, Link
+from repro.graphs.convert import cdcg_to_cwg
+from repro.graphs.io import (
+    cwg_to_dict,
+    cwg_from_dict,
+    cdcg_to_dict,
+    cdcg_from_dict,
+    save_json,
+    load_cwg_json,
+    load_cdcg_json,
+    cwg_to_dot,
+    cdcg_to_dot,
+    crg_to_dot,
+)
+
+__all__ = [
+    "CWG",
+    "Communication",
+    "CDCG",
+    "Packet",
+    "START",
+    "END",
+    "CRG",
+    "Tile",
+    "Link",
+    "cdcg_to_cwg",
+    "cwg_to_dict",
+    "cwg_from_dict",
+    "cdcg_to_dict",
+    "cdcg_from_dict",
+    "save_json",
+    "load_cwg_json",
+    "load_cdcg_json",
+    "cwg_to_dot",
+    "cdcg_to_dot",
+    "crg_to_dot",
+]

@@ -1,0 +1,65 @@
+"""Conversions between application models.
+
+The central conversion is :func:`cdcg_to_cwg`: collapsing a CDCG (packet-level
+model) into the CWG (core-level model) that the CWM algorithm would see for
+the same application.  This is exactly how the paper compares the two models —
+both algorithms map the *same* application, described at different abstraction
+levels, and the mappings are then evaluated under the richer CDCM model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graphs.cdcg import CDCG
+from repro.graphs.cwg import CWG
+from repro.utils.errors import GraphValidationError
+
+
+def cdcg_to_cwg(cdcg: CDCG, name: str | None = None) -> CWG:
+    """Collapse a CDCG into the equivalent CWG.
+
+    Every packet ``p_abq`` contributes its bit volume ``w_abq`` to the CWG
+    edge ``c_a -> c_b``; computation times and dependences are discarded
+    (that is the information loss the paper's comparison is about).
+
+    Parameters
+    ----------
+    cdcg:
+        Packet-level application model.
+    name:
+        Optional name for the produced CWG; defaults to the CDCG's name.
+    """
+    cwg = CWG(name if name is not None else cdcg.name)
+    for core in cdcg.cores():
+        cwg.add_core(core)
+    volumes: Dict[Tuple[str, str], int] = {}
+    for packet in cdcg.packets:
+        volumes[packet.flow] = volumes.get(packet.flow, 0) + packet.bits
+    for (source, target), bits in volumes.items():
+        cwg.add_communication(source, target, bits)
+    return cwg
+
+
+def check_consistent(cdcg: CDCG, cwg: CWG) -> None:
+    """Verify that *cwg* is the collapse of *cdcg*.
+
+    Raises :class:`GraphValidationError` when the core sets or per-flow bit
+    volumes disagree.  Used by tests and by the framework when a user supplies
+    both models explicitly.
+    """
+    derived = cdcg_to_cwg(cdcg)
+    if set(derived.cores) != set(cwg.cores):
+        raise GraphValidationError(
+            "CWG and CDCG disagree on the application core set: "
+            f"{sorted(set(derived.cores) ^ set(cwg.cores))}"
+        )
+    derived_edges = {(c.source, c.target): c.bits for c in derived.communications()}
+    given_edges = {(c.source, c.target): c.bits for c in cwg.communications()}
+    if derived_edges != given_edges:
+        raise GraphValidationError(
+            "CWG edge volumes do not match the packet volumes of the CDCG"
+        )
+
+
+__all__ = ["cdcg_to_cwg", "check_consistent"]

@@ -1,0 +1,206 @@
+"""Serialisation of application and architecture graphs.
+
+Two formats are supported:
+
+* **JSON** — lossless round-trip for CWG and CDCG (the formats a user would
+  check into a repository alongside their application), plus CRG export.
+* **DOT** — Graphviz export for visual inspection of any of the three graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.graphs.cdcg import CDCG
+from repro.graphs.crg import CRG
+from repro.graphs.cwg import CWG
+from repro.utils.errors import GraphValidationError
+
+PathLike = Union[str, Path]
+
+# ---------------------------------------------------------------------------
+# CWG <-> dict / JSON
+# ---------------------------------------------------------------------------
+
+
+def cwg_to_dict(cwg: CWG) -> Dict[str, Any]:
+    """Serialise a CWG into a plain dictionary."""
+    return {
+        "type": "cwg",
+        "name": cwg.name,
+        "cores": cwg.cores,
+        "communications": [
+            {"source": c.source, "target": c.target, "bits": c.bits}
+            for c in cwg.communications()
+        ],
+    }
+
+
+def cwg_from_dict(data: Dict[str, Any]) -> CWG:
+    """Deserialise a CWG from :func:`cwg_to_dict` output."""
+    if data.get("type") != "cwg":
+        raise GraphValidationError(
+            f"expected a 'cwg' document, got type={data.get('type')!r}"
+        )
+    cwg = CWG(data.get("name", "application"))
+    for core in data.get("cores", []):
+        cwg.add_core(core)
+    for comm in data.get("communications", []):
+        cwg.add_communication(comm["source"], comm["target"], int(comm["bits"]))
+    cwg.validate()
+    return cwg
+
+
+# ---------------------------------------------------------------------------
+# CDCG <-> dict / JSON
+# ---------------------------------------------------------------------------
+
+
+def cdcg_to_dict(cdcg: CDCG) -> Dict[str, Any]:
+    """Serialise a CDCG into a plain dictionary."""
+    return {
+        "type": "cdcg",
+        "name": cdcg.name,
+        "cores": cdcg.cores(),
+        "packets": [
+            {
+                "name": p.name,
+                "source": p.source,
+                "target": p.target,
+                "computation_time": p.computation_time,
+                "bits": p.bits,
+            }
+            for p in cdcg.packets
+        ],
+        "dependences": [
+            {"predecessor": pred, "successor": succ}
+            for pred, succ in cdcg.dependences()
+        ],
+    }
+
+
+def cdcg_from_dict(data: Dict[str, Any]) -> CDCG:
+    """Deserialise a CDCG from :func:`cdcg_to_dict` output."""
+    if data.get("type") != "cdcg":
+        raise GraphValidationError(
+            f"expected a 'cdcg' document, got type={data.get('type')!r}"
+        )
+    cdcg = CDCG(data.get("name", "application"))
+    for core in data.get("cores", []):
+        cdcg.add_core(core)
+    for packet in data.get("packets", []):
+        cdcg.add_packet(
+            packet["name"],
+            packet["source"],
+            packet["target"],
+            float(packet["computation_time"]),
+            int(packet["bits"]),
+        )
+    for dep in data.get("dependences", []):
+        cdcg.add_dependence(dep["predecessor"], dep["successor"])
+    cdcg.validate()
+    return cdcg
+
+
+# ---------------------------------------------------------------------------
+# JSON file helpers
+# ---------------------------------------------------------------------------
+
+
+def save_json(graph: Union[CWG, CDCG], path: PathLike) -> None:
+    """Write a CWG or CDCG to *path* as JSON."""
+    if isinstance(graph, CWG):
+        data = cwg_to_dict(graph)
+    elif isinstance(graph, CDCG):
+        data = cdcg_to_dict(graph)
+    else:
+        raise TypeError(f"cannot serialise object of type {type(graph).__name__}")
+    Path(path).write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def load_cwg_json(path: PathLike) -> CWG:
+    """Load a CWG from a JSON file produced by :func:`save_json`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return cwg_from_dict(data)
+
+
+def load_cdcg_json(path: PathLike) -> CDCG:
+    """Load a CDCG from a JSON file produced by :func:`save_json`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return cdcg_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# DOT export
+# ---------------------------------------------------------------------------
+
+
+def _dot_escape(label: str) -> str:
+    return label.replace('"', '\\"')
+
+
+def cwg_to_dot(cwg: CWG) -> str:
+    """Render a CWG as a Graphviz DOT digraph (edge labels = bit volumes)."""
+    lines = [f'digraph "{_dot_escape(cwg.name)}" {{']
+    for core in cwg.cores:
+        lines.append(f'  "{_dot_escape(core)}" [shape=box];')
+    for comm in cwg.communications():
+        lines.append(
+            f'  "{_dot_escape(comm.source)}" -> "{_dot_escape(comm.target)}" '
+            f'[label="{comm.bits}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cdcg_to_dot(cdcg: CDCG) -> str:
+    """Render a CDCG as a Graphviz DOT digraph including Start/End."""
+    lines = [f'digraph "{_dot_escape(cdcg.name)}" {{']
+    lines.append('  "Start" [shape=circle];')
+    lines.append('  "End" [shape=doublecircle];')
+    for packet in cdcg.packets:
+        label = (
+            f"{packet.bits} {packet.source}->{packet.target}\\n"
+            f"t{packet.source}: {packet.computation_time:g}"
+        )
+        lines.append(f'  "{_dot_escape(packet.name)}" [shape=box, label="{label}"];')
+    for pred, succ in cdcg.dependences():
+        lines.append(f'  "{_dot_escape(pred)}" -> "{_dot_escape(succ)}";')
+    for packet in cdcg.initial_packets():
+        lines.append(f'  "Start" -> "{_dot_escape(packet.name)}";')
+    for packet in cdcg.final_packets():
+        lines.append(f'  "{_dot_escape(packet.name)}" -> "End";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def crg_to_dot(crg: CRG) -> str:
+    """Render a CRG as a Graphviz DOT digraph with tile positions."""
+    lines = [f'digraph "{_dot_escape(crg.name)}" {{']
+    for tile in crg.tiles:
+        lines.append(
+            f'  "{tile.name}" [shape=square, '
+            f'pos="{tile.x},{tile.y}!", label="{tile.name}\\n({tile.x},{tile.y})"];'
+        )
+    for link in crg.links:
+        source = crg.tile(link.source)
+        target = crg.tile(link.target)
+        lines.append(f'  "{source.name}" -> "{target.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "cwg_to_dict",
+    "cwg_from_dict",
+    "cdcg_to_dict",
+    "cdcg_from_dict",
+    "save_json",
+    "load_cwg_json",
+    "load_cdcg_json",
+    "cwg_to_dot",
+    "cdcg_to_dot",
+    "crg_to_dot",
+]

@@ -1,0 +1,56 @@
+"""NoC substrate: topology, routing, platform parameters and the packet scheduler.
+
+This package models the target architecture of the paper: a regular 2D-mesh
+NoC with wormhole switching and deterministic XY routing.  It provides:
+
+* :class:`~repro.noc.topology.Mesh` and :func:`~repro.noc.topology.build_mesh_crg`
+  — the regular mesh and its communication resource graph (CRG);
+* :mod:`~repro.noc.routing` — deterministic XY / YX routing functions;
+* :class:`~repro.noc.platform.NocParameters` and
+  :class:`~repro.noc.platform.Platform` — the wormhole timing parameters
+  (``tr``, ``tl``, clock period, flit width) and the bundle of everything a
+  cost model needs (mesh + routing + parameters + technology);
+* :mod:`~repro.noc.resources` — identifiers for the shared resources a packet
+  reserves (routers, inter-router links, local core links);
+* :class:`~repro.noc.scheduler.CdcmScheduler` — the contention-aware
+  interval-reservation scheduler that replays a CDCG over a mapped platform,
+  producing execution time, per-resource occupation and contention delays
+  (Section 4 of the paper, reproduced exactly on the Figure 3/4/5 example).
+"""
+
+from repro.noc.topology import Mesh, Torus, build_mesh_crg
+from repro.noc.routing import (
+    RoutingAlgorithm,
+    XYRouting,
+    YXRouting,
+    get_routing,
+)
+from repro.noc.platform import NocParameters, Platform
+from repro.noc.resources import (
+    Resource,
+    RouterResource,
+    LinkResource,
+    LocalLinkResource,
+    Occupation,
+)
+from repro.noc.scheduler import CdcmScheduler, ScheduleResult, PacketSchedule
+
+__all__ = [
+    "Mesh",
+    "Torus",
+    "build_mesh_crg",
+    "RoutingAlgorithm",
+    "XYRouting",
+    "YXRouting",
+    "get_routing",
+    "NocParameters",
+    "Platform",
+    "Resource",
+    "RouterResource",
+    "LinkResource",
+    "LocalLinkResource",
+    "Occupation",
+    "CdcmScheduler",
+    "ScheduleResult",
+    "PacketSchedule",
+]

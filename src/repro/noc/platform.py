@@ -1,0 +1,176 @@
+"""Platform description: wormhole timing parameters + mesh + routing + technology.
+
+A :class:`Platform` bundles everything the cost models need to evaluate a
+mapping:
+
+* the :class:`~repro.noc.topology.Mesh` (the CRG of Definition 3),
+* a deterministic :class:`~repro.noc.routing.RoutingAlgorithm`,
+* the wormhole switching parameters of equations (6)–(8)
+  (:class:`NocParameters`: routing cycles ``tr``, link cycles ``tl``, clock
+  period ``lambda``, flit width),
+* a :class:`~repro.energy.technology.Technology` (per-bit energies and router
+  leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.energy.technology import TECH_0_07UM, Technology
+from repro.noc.routing import RoutingAlgorithm, XYRouting
+from repro.noc.topology import Mesh
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import bits_to_flits
+
+
+@dataclass(frozen=True)
+class NocParameters:
+    """Wormhole switching parameters (equations 6–8 of the paper).
+
+    Attributes
+    ----------
+    routing_cycles:
+        ``tr`` — clock cycles a router needs to take a routing decision for a
+        packet header.
+    link_cycles:
+        ``tl`` — clock cycles to transmit one flit over a link (between tiles
+        or between a core and its router).
+    clock_period:
+        ``lambda`` — clock period, in nanoseconds.
+    flit_width:
+        Link width in bits; a packet of ``w`` bits is carried by
+        ``ceil(w / flit_width)`` flits.
+    serialize_local_links:
+        When True, the local core–router links are treated as contention
+        resources too.  The paper's worked example (Figure 3) contends only on
+        inter-router links, which is the default behaviour.
+    """
+
+    routing_cycles: int = 2
+    link_cycles: int = 1
+    clock_period: float = 1.0
+    flit_width: int = 32
+    serialize_local_links: bool = False
+
+    def __post_init__(self) -> None:
+        if self.routing_cycles < 0:
+            raise ConfigurationError(
+                f"routing_cycles must be non-negative, got {self.routing_cycles}"
+            )
+        if self.link_cycles <= 0:
+            raise ConfigurationError(
+                f"link_cycles must be positive, got {self.link_cycles}"
+            )
+        if self.clock_period <= 0:
+            raise ConfigurationError(
+                f"clock_period must be positive, got {self.clock_period}"
+            )
+        if self.flit_width <= 0:
+            raise ConfigurationError(
+                f"flit_width must be positive, got {self.flit_width}"
+            )
+
+    @property
+    def routing_time(self) -> float:
+        """``tr x lambda`` in nanoseconds."""
+        return self.routing_cycles * self.clock_period
+
+    @property
+    def link_time(self) -> float:
+        """``tl x lambda`` in nanoseconds."""
+        return self.link_cycles * self.clock_period
+
+    def flits(self, bits: int) -> int:
+        """Number of flits of a packet of *bits* bits (``n_abq``)."""
+        return bits_to_flits(bits, self.flit_width)
+
+
+#: Parameters of the paper's worked example (Section 4.1): tr = 2 cycles,
+#: tl = 1 cycle, 1 ns clock, one-bit flits, unbounded buffers.
+PAPER_EXAMPLE_PARAMETERS = NocParameters(
+    routing_cycles=2,
+    link_cycles=1,
+    clock_period=1.0,
+    flit_width=1,
+)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Complete target-architecture description used by the cost models."""
+
+    mesh: Mesh
+    routing: RoutingAlgorithm = field(default_factory=XYRouting)
+    parameters: NocParameters = field(default_factory=NocParameters)
+    technology: Technology = TECH_0_07UM
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        return self.mesh.num_tiles
+
+    def route(self, source_tile: int, target_tile: int) -> List[int]:
+        """Router (tile) indices traversed from *source_tile* to *target_tile*."""
+        return self.routing.route(self.mesh, source_tile, target_tile)
+
+    def hop_count(self, source_tile: int, target_tile: int) -> int:
+        """``K`` — number of routers traversed."""
+        return len(self.route(source_tile, target_tile))
+
+    def route_links(self, source_tile: int, target_tile: int) -> List[Tuple[int, int]]:
+        """Inter-router links of the route, as ``(from, to)`` tile pairs."""
+        return self.routing.links(self.mesh, source_tile, target_tile)
+
+    def with_technology(self, technology: Technology) -> "Platform":
+        """Copy of this platform with a different technology."""
+        return replace(self, technology=technology)
+
+    def with_routing(self, routing: RoutingAlgorithm) -> "Platform":
+        """Copy of this platform with a different routing algorithm."""
+        return replace(self, routing=routing)
+
+    def with_parameters(self, parameters: NocParameters) -> "Platform":
+        """Copy of this platform with different wormhole parameters."""
+        return replace(self, parameters=parameters)
+
+    def noc_static_power(self) -> float:
+        """``PstNoC = n x PSRouter`` (equation 5), in pJ/ns."""
+        return self.num_tiles * self.technology.router_static_power
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        params = self.parameters
+        return "\n".join(
+            [
+                f"platform: {self.mesh} / {self.routing.name} routing",
+                (
+                    f"  wormhole: tr={params.routing_cycles} cycles, "
+                    f"tl={params.link_cycles} cycles, clock={params.clock_period} ns, "
+                    f"flit width={params.flit_width} bits"
+                ),
+                f"  technology: {self.technology.describe()}",
+            ]
+        )
+
+
+def paper_example_platform(technology: Technology | None = None) -> Platform:
+    """The 2x2 platform of the paper's worked example (Figures 1–5)."""
+    from repro.energy.technology import TECH_PAPER_EXAMPLE
+
+    return Platform(
+        mesh=Mesh(2, 2),
+        routing=XYRouting(),
+        parameters=PAPER_EXAMPLE_PARAMETERS,
+        technology=technology or TECH_PAPER_EXAMPLE,
+    )
+
+
+__all__ = [
+    "NocParameters",
+    "Platform",
+    "PAPER_EXAMPLE_PARAMETERS",
+    "paper_example_platform",
+]

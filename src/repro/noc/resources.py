@@ -1,0 +1,113 @@
+"""Identifiers for the shared NoC resources a packet reserves.
+
+The CDCM algorithm of the paper annotates every CRG vertex (router) and edge
+(link) with a *cost variable list*: one entry per packet that used the
+resource, holding the bit count and the absolute time interval during which
+the packet occupied it (Figure 3).  The classes here are the keys and values
+of that bookkeeping:
+
+* :class:`RouterResource` — a router (CRG vertex);
+* :class:`LinkResource` — a unidirectional link between two routers (CRG edge);
+* :class:`LocalLinkResource` — the link between a router and the IP core of
+  its tile;
+* :class:`Occupation` — one entry of a cost variable list: which packet,
+  how many bits, during which time interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class RouterResource:
+    """The router of tile ``tile``."""
+
+    tile: int
+
+    def __str__(self) -> str:
+        return f"router(tau{self.tile})"
+
+
+@dataclass(frozen=True)
+class LinkResource:
+    """The unidirectional inter-router link from tile ``source`` to ``target``."""
+
+    source: int
+    target: int
+
+    def __str__(self) -> str:
+        return f"link(tau{self.source}->tau{self.target})"
+
+
+@dataclass(frozen=True)
+class LocalLinkResource:
+    """The local link between the router of tile ``tile`` and its IP core."""
+
+    tile: int
+
+    def __str__(self) -> str:
+        return f"local(tau{self.tile})"
+
+
+#: Any reservable NoC resource.
+Resource = Union[RouterResource, LinkResource, LocalLinkResource]
+
+
+@dataclass(frozen=True)
+class Occupation:
+    """One entry of a resource's cost variable list.
+
+    Attributes
+    ----------
+    packet:
+        Name of the occupying packet.
+    bits:
+        Number of bits of the packet (used for dynamic-energy bookkeeping).
+    start, end:
+        Absolute time interval (in nanoseconds) during which the packet
+        occupies the resource — from the arrival of its head (or the start of
+        its transmission) until its tail has passed.
+    contended:
+        True when the packet suffered contention *at this resource* (the
+        paper marks such entries with ``*`` in Figure 3).
+    """
+
+    packet: str
+    bits: int
+    start: float
+    end: float
+    contended: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"occupation of {self.packet!r} ends ({self.end}) before it "
+                f"starts ({self.start})"
+            )
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.start, self.end)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Occupation") -> bool:
+        """True when the two occupations overlap in time (open intervals)."""
+        return self.start < other.end and other.start < self.end
+
+    def __str__(self) -> str:
+        marker = "*" if self.contended else ""
+        return f"{marker}{self.bits}({self.packet}):[{self.start:g},{self.end:g}]"
+
+
+__all__ = [
+    "RouterResource",
+    "LinkResource",
+    "LocalLinkResource",
+    "Resource",
+    "Occupation",
+]

@@ -1,0 +1,130 @@
+"""Deterministic routing algorithms for mesh NoCs.
+
+The paper fixes deterministic XY routing (route along the X axis first, then
+along the Y axis).  :class:`XYRouting` implements it; :class:`YXRouting` is
+the symmetric variant, kept for ablation benches (the mapping quality of CWM
+vs CDCM should not depend on which deterministic dimension-ordered routing is
+used).
+
+A routing algorithm maps a ``(source tile, target tile)`` pair to the ordered
+list of routers the packet header traverses, source router and target router
+included (the quantity ``K`` of equations 2 and 6–8 is the length of that
+list).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.noc.topology import Mesh, Torus
+from repro.utils.errors import ConfigurationError
+
+
+class RoutingAlgorithm(ABC):
+    """Deterministic routing function over a mesh."""
+
+    #: Short identifier used in configuration files and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def route(self, mesh: Mesh, source: int, target: int) -> List[int]:
+        """Return the ordered list of router (tile) indices from *source* to
+        *target*, both endpoints included.
+
+        ``route(m, t, t) == [t]`` — a core talking to a core on the same tile
+        traverses exactly one router.
+        """
+
+    def hop_count(self, mesh: Mesh, source: int, target: int) -> int:
+        """Number of routers traversed (``K`` in the paper's equations)."""
+        return len(self.route(mesh, source, target))
+
+    def links(self, mesh: Mesh, source: int, target: int) -> List[tuple[int, int]]:
+        """The inter-router links of the route, as ``(from_tile, to_tile)`` pairs."""
+        path = self.route(mesh, source, target)
+        return list(zip(path, path[1:]))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _axis_steps(start: int, end: int, size: int, wrap: bool) -> List[int]:
+    """Coordinates visited moving from *start* to *end* along one axis,
+    excluding *start* itself."""
+    if start == end:
+        return []
+    if not wrap:
+        step = 1 if end > start else -1
+        return list(range(start + step, end + step, step))
+    forward = (end - start) % size
+    backward = (start - end) % size
+    step = 1 if forward <= backward else -1
+    coords = []
+    current = start
+    while current != end:
+        current = (current + step) % size
+        coords.append(current)
+    return coords
+
+
+class XYRouting(RoutingAlgorithm):
+    """Dimension-ordered routing: X axis first, then Y axis."""
+
+    name = "xy"
+
+    def route(self, mesh: Mesh, source: int, target: int) -> List[int]:
+        _validate_endpoints(mesh, source, target)
+        wrap = isinstance(mesh, Torus)
+        sx, sy = mesh.position_of(source)
+        tx, ty = mesh.position_of(target)
+        path = [source]
+        for x in _axis_steps(sx, tx, mesh.width, wrap):
+            path.append(mesh.index_of(x, sy))
+        for y in _axis_steps(sy, ty, mesh.height, wrap):
+            path.append(mesh.index_of(tx, y))
+        return path
+
+
+class YXRouting(RoutingAlgorithm):
+    """Dimension-ordered routing: Y axis first, then X axis."""
+
+    name = "yx"
+
+    def route(self, mesh: Mesh, source: int, target: int) -> List[int]:
+        _validate_endpoints(mesh, source, target)
+        wrap = isinstance(mesh, Torus)
+        sx, sy = mesh.position_of(source)
+        tx, ty = mesh.position_of(target)
+        path = [source]
+        for y in _axis_steps(sy, ty, mesh.height, wrap):
+            path.append(mesh.index_of(sx, y))
+        for x in _axis_steps(sx, tx, mesh.width, wrap):
+            path.append(mesh.index_of(x, ty))
+        return path
+
+
+def _validate_endpoints(mesh: Mesh, source: int, target: int) -> None:
+    if not mesh.contains(source):
+        raise ConfigurationError(f"source tile {source} outside {mesh}")
+    if not mesh.contains(target):
+        raise ConfigurationError(f"target tile {target} outside {mesh}")
+
+
+_REGISTRY = {
+    XYRouting.name: XYRouting,
+    YXRouting.name: YXRouting,
+}
+
+
+def get_routing(name: str) -> RoutingAlgorithm:
+    """Instantiate a routing algorithm by name (``"xy"`` or ``"yx"``)."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown routing algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+__all__ = ["RoutingAlgorithm", "XYRouting", "YXRouting", "get_routing"]

@@ -1,0 +1,184 @@
+"""Regular NoC topologies.
+
+The paper evaluates mappings on regular 2D-mesh NoCs (Definition 3 fixes the
+number of tiles to the product of the two mesh dimensions).  :class:`Mesh`
+captures that topology; :class:`Torus` is provided as an extension to show
+that other regular topologies "can be equally treated", as the paper notes.
+
+Tile numbering is row-major: tile ``index = y * width + x``, with ``x``
+growing to the right and ``y`` growing downwards.  For the paper's 2x2
+example this puts tiles tau0/tau1 on the top row and tau2/tau3 on the bottom
+row, matching Figure 1(c, d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.graphs.crg import CRG
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A ``width x height`` 2D-mesh NoC.
+
+    Attributes
+    ----------
+    width:
+        Number of tiles along the X axis.
+    height:
+        Number of tiles along the Y axis.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"mesh dimensions must be positive, got {self.width}x{self.height}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        """Total number of tiles, ``n = width * height``."""
+        return self.width * self.height
+
+    def index_of(self, x: int, y: int) -> int:
+        """Tile index of grid position ``(x, y)``."""
+        self._check_position(x, y)
+        return y * self.width + x
+
+    def position_of(self, index: int) -> Tuple[int, int]:
+        """Grid position ``(x, y)`` of tile *index*."""
+        self._check_index(index)
+        return (index % self.width, index // self.width)
+
+    def tiles(self) -> Iterator[int]:
+        """All tile indices in row-major order."""
+        return iter(range(self.num_tiles))
+
+    def neighbours(self, index: int) -> List[int]:
+        """Indices of the mesh neighbours of tile *index* (2 to 4 tiles)."""
+        x, y = self.position_of(index)
+        result = []
+        if x > 0:
+            result.append(self.index_of(x - 1, y))
+        if x < self.width - 1:
+            result.append(self.index_of(x + 1, y))
+        if y > 0:
+            result.append(self.index_of(x, y - 1))
+        if y < self.height - 1:
+            result.append(self.index_of(x, y + 1))
+        return result
+
+    def manhattan_distance(self, source: int, target: int) -> int:
+        """Hop distance between two tiles along a minimal mesh path."""
+        sx, sy = self.position_of(source)
+        tx, ty = self.position_of(target)
+        return abs(sx - tx) + abs(sy - ty)
+
+    def contains(self, index: int) -> bool:
+        return 0 <= index < self.num_tiles
+
+    def _check_position(self, x: int, y: int) -> None:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(
+                f"position ({x}, {y}) outside {self.width}x{self.height} mesh"
+            )
+
+    def _check_index(self, index: int) -> None:
+        if not self.contains(index):
+            raise ConfigurationError(
+                f"tile index {index} outside {self.width}x{self.height} mesh "
+                f"(valid range 0..{self.num_tiles - 1})"
+            )
+
+    # ------------------------------------------------------------------
+    # CRG construction
+    # ------------------------------------------------------------------
+    def to_crg(self, name: str | None = None) -> CRG:
+        """Build the communication resource graph of this mesh.
+
+        Each pair of adjacent tiles is connected by two unidirectional links
+        (one per direction), labelled horizontal or vertical.
+        """
+        crg = CRG(name or f"mesh_{self.width}x{self.height}")
+        for index in self.tiles():
+            x, y = self.position_of(index)
+            crg.add_tile(index, x, y)
+        for index in self.tiles():
+            x, y = self.position_of(index)
+            if x < self.width - 1:
+                east = self.index_of(x + 1, y)
+                crg.add_link(index, east, "horizontal")
+                crg.add_link(east, index, "horizontal")
+            if y < self.height - 1:
+                south = self.index_of(x, y + 1)
+                crg.add_link(index, south, "vertical")
+                crg.add_link(south, index, "vertical")
+        return crg
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height} mesh"
+
+
+@dataclass(frozen=True)
+class Torus(Mesh):
+    """A 2D torus: a mesh with wrap-around links.
+
+    Provided as a topology extension; the deterministic XY routing in
+    :mod:`repro.noc.routing` handles the wrap-around by taking the shorter of
+    the two directions along each axis.
+    """
+
+    def neighbours(self, index: int) -> List[int]:
+        x, y = self.position_of(index)
+        result = {
+            self.index_of((x - 1) % self.width, y),
+            self.index_of((x + 1) % self.width, y),
+            self.index_of(x, (y - 1) % self.height),
+            self.index_of(x, (y + 1) % self.height),
+        }
+        result.discard(index)
+        return sorted(result)
+
+    def manhattan_distance(self, source: int, target: int) -> int:
+        sx, sy = self.position_of(source)
+        tx, ty = self.position_of(target)
+        dx = abs(sx - tx)
+        dy = abs(sy - ty)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def to_crg(self, name: str | None = None) -> CRG:
+        crg = CRG(name or f"torus_{self.width}x{self.height}")
+        for index in self.tiles():
+            x, y = self.position_of(index)
+            crg.add_tile(index, x, y)
+        seen = set()
+        for index in self.tiles():
+            for neighbour in self.neighbours(index):
+                if (index, neighbour) in seen:
+                    continue
+                ix, iy = self.position_of(index)
+                nx_, ny_ = self.position_of(neighbour)
+                orientation = "horizontal" if iy == ny_ else "vertical"
+                crg.add_link(index, neighbour, orientation)
+                seen.add((index, neighbour))
+        return crg
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height} torus"
+
+
+def build_mesh_crg(width: int, height: int, name: str | None = None) -> CRG:
+    """Convenience wrapper: CRG of a ``width x height`` mesh."""
+    return Mesh(width, height).to_crg(name)
+
+
+__all__ = ["Mesh", "Torus", "build_mesh_crg"]

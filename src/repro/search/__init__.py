@@ -1,0 +1,38 @@
+"""Mapping search engines.
+
+The paper's FRW framework offers two search methods: exhaustive search (used
+as the optimality reference on small NoCs) and simulated annealing (used for
+everything larger).  Both are implemented here, together with three additional
+engines useful as baselines and extensions:
+
+* :class:`~repro.search.random_search.RandomSearch` — the random-mapping
+  baseline that Hu & Marculescu compare against;
+* :class:`~repro.search.greedy.GreedyConstructive` — a fast constructive
+  heuristic placing the most communication-intensive cores first;
+* :class:`~repro.search.genetic.GeneticSearch` — a permutation GA extension.
+
+Every engine implements :class:`~repro.search.base.Searcher` and only sees the
+objective function ``mapping -> cost``, so it works identically for CWM and
+CDCM objectives.
+"""
+
+from repro.search.base import Searcher, SearchResult
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
+from repro.search.random_search import RandomSearch
+from repro.search.greedy import GreedyConstructive
+from repro.search.genetic import GeneticSearch
+from repro.search.registry import get_searcher, available_searchers
+
+__all__ = [
+    "Searcher",
+    "SearchResult",
+    "ExhaustiveSearch",
+    "AnnealingSchedule",
+    "SimulatedAnnealing",
+    "RandomSearch",
+    "GreedyConstructive",
+    "GeneticSearch",
+    "get_searcher",
+    "available_searchers",
+]

@@ -1,0 +1,217 @@
+"""Simulated annealing mapping search.
+
+This is the search method the paper's FRW framework uses for every NoC larger
+than ~3x4: start from a random mapping, repeatedly propose a local move (swap
+the contents of two tiles), accept the move when it improves the objective or,
+with a temperature-dependent probability, when it worsens it, and keep the
+best mapping ever seen.  The schedule (initial temperature, geometric cooling,
+moves per temperature, stop condition) is configurable through
+:class:`AnnealingSchedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mapping import Mapping
+from repro.search.base import Objective, SearchResult, Searcher
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling schedule and stop conditions for :class:`SimulatedAnnealing`.
+
+    Attributes
+    ----------
+    initial_temperature:
+        Starting temperature, in objective units.  When ``None`` the engine
+        calibrates it from a short random walk so that roughly 80 % of
+        worsening moves are initially accepted — which removes the need to
+        know the objective's scale (energy in pJ can span many orders of
+        magnitude between applications).
+    cooling_factor:
+        Geometric cooling ratio applied after every temperature plateau
+        (``0 < factor < 1``).
+    moves_per_temperature:
+        Number of proposed moves at each temperature.  When ``None`` it
+        defaults to ``8 x n`` where ``n`` is the number of tiles, which keeps
+        effort proportional to the NoC size as the paper's Table 2 sweep
+        requires.
+    min_temperature_ratio:
+        The annealing stops when the temperature falls below
+        ``initial_temperature x min_temperature_ratio``.
+    max_evaluations:
+        Hard cap on objective evaluations (safety bound for the CDCM
+        objective, whose single evaluation cost grows with the packet count).
+    stall_plateaus:
+        Stop early after this many consecutive plateaus without any
+        improvement of the incumbent.
+    """
+
+    initial_temperature: Optional[float] = None
+    cooling_factor: float = 0.95
+    moves_per_temperature: Optional[int] = None
+    min_temperature_ratio: float = 1e-4
+    max_evaluations: int = 100_000
+    stall_plateaus: int = 25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cooling_factor < 1.0:
+            raise ConfigurationError(
+                f"cooling_factor must be in (0, 1), got {self.cooling_factor}"
+            )
+        if self.initial_temperature is not None and self.initial_temperature <= 0:
+            raise ConfigurationError(
+                f"initial_temperature must be positive, got {self.initial_temperature}"
+            )
+        if self.moves_per_temperature is not None and self.moves_per_temperature <= 0:
+            raise ConfigurationError(
+                f"moves_per_temperature must be positive, "
+                f"got {self.moves_per_temperature}"
+            )
+        if not 0.0 < self.min_temperature_ratio < 1.0:
+            raise ConfigurationError(
+                f"min_temperature_ratio must be in (0, 1), "
+                f"got {self.min_temperature_ratio}"
+            )
+        if self.max_evaluations <= 0:
+            raise ConfigurationError(
+                f"max_evaluations must be positive, got {self.max_evaluations}"
+            )
+        if self.stall_plateaus <= 0:
+            raise ConfigurationError(
+                f"stall_plateaus must be positive, got {self.stall_plateaus}"
+            )
+
+
+#: A reduced-effort schedule used by the test-suite and the smoke benches.
+FAST_SCHEDULE = AnnealingSchedule(
+    cooling_factor=0.85,
+    min_temperature_ratio=1e-2,
+    max_evaluations=4_000,
+    stall_plateaus=8,
+)
+
+
+class SimulatedAnnealing(Searcher):
+    """Simulated-annealing search over tile-swap moves."""
+
+    name = "annealing"
+
+    def __init__(self, schedule: AnnealingSchedule | None = None) -> None:
+        self.schedule = schedule or AnnealingSchedule()
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        objective: Objective,
+        initial: Mapping,
+        rng: RandomSource = None,
+    ) -> SearchResult:
+        generator = ensure_rng(rng)
+        schedule = self.schedule
+        num_tiles = initial.num_tiles
+        if num_tiles is None:
+            raise ConfigurationError(
+                "simulated annealing requires the initial mapping to know the NoC size"
+            )
+        if num_tiles < 2:
+            cost = objective(initial)
+            return SearchResult(initial, cost, 1, [(1, cost)])
+
+        current = initial
+        current_cost = objective(current)
+        best = current
+        best_cost = current_cost
+        evaluations = 1
+        accepted = 0
+        history = [(evaluations, best_cost)]
+
+        moves_per_temperature = schedule.moves_per_temperature or max(8, 8 * num_tiles)
+        temperature = schedule.initial_temperature or self._calibrate_temperature(
+            objective, current, current_cost, generator, num_tiles
+        )
+        evaluations += self._calibration_evaluations
+        floor = temperature * schedule.min_temperature_ratio
+
+        stalled = 0
+        while temperature > floor and evaluations < schedule.max_evaluations:
+            improved_this_plateau = False
+            for _ in range(moves_per_temperature):
+                if evaluations >= schedule.max_evaluations:
+                    break
+                candidate = self._propose(current, generator, num_tiles)
+                candidate_cost = objective(candidate)
+                evaluations += 1
+                delta = candidate_cost - current_cost
+                if delta <= 0 or generator.random() < math.exp(-delta / temperature):
+                    current = candidate
+                    current_cost = candidate_cost
+                    accepted += 1
+                    if current_cost < best_cost:
+                        best = current
+                        best_cost = current_cost
+                        history.append((evaluations, best_cost))
+                        improved_this_plateau = True
+            stalled = 0 if improved_this_plateau else stalled + 1
+            if stalled >= schedule.stall_plateaus:
+                break
+            temperature *= schedule.cooling_factor
+
+        return SearchResult(
+            best_mapping=best,
+            best_cost=best_cost,
+            evaluations=evaluations,
+            history=history,
+            accepted_moves=accepted,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    _calibration_evaluations = 0
+
+    def _propose(self, mapping: Mapping, rng, num_tiles: int) -> Mapping:
+        """Swap the contents of two distinct tiles (either may be empty)."""
+        tile_a = int(rng.integers(num_tiles))
+        tile_b = int(rng.integers(num_tiles - 1))
+        if tile_b >= tile_a:
+            tile_b += 1
+        # Avoid proposing a no-op when both tiles are empty.
+        if mapping.core_at(tile_a) is None and mapping.core_at(tile_b) is None:
+            used = mapping.used_tiles()
+            if used:
+                tile_a = used[int(rng.integers(len(used)))]
+        return mapping.swap_tiles(tile_a, tile_b)
+
+    def _calibrate_temperature(
+        self,
+        objective: Objective,
+        mapping: Mapping,
+        cost: float,
+        rng,
+        num_tiles: int,
+        samples: int = 20,
+        target_acceptance: float = 0.8,
+    ) -> float:
+        """Estimate an initial temperature from the cost deltas of random moves."""
+        deltas = []
+        current = mapping
+        current_cost = cost
+        for _ in range(samples):
+            candidate = self._propose(current, rng, num_tiles)
+            candidate_cost = objective(candidate)
+            deltas.append(abs(candidate_cost - current_cost))
+            current, current_cost = candidate, candidate_cost
+        self._calibration_evaluations = samples
+        mean_delta = sum(deltas) / len(deltas) if deltas else 1.0
+        if mean_delta <= 0:
+            return max(abs(cost), 1.0) * 0.05
+        return -mean_delta / math.log(target_acceptance)
+
+
+__all__ = ["AnnealingSchedule", "SimulatedAnnealing", "FAST_SCHEDULE"]

@@ -1,0 +1,80 @@
+"""Common interface and result record for all mapping search engines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.mapping import Mapping
+from repro.utils.rng import RandomSource
+
+#: Objective signature shared by all engines: lower is better.
+Objective = Callable[[Mapping], float]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run.
+
+    Attributes
+    ----------
+    best_mapping:
+        The lowest-cost mapping found.
+    best_cost:
+        Its objective value.
+    evaluations:
+        Number of objective evaluations performed by the engine.
+    history:
+        ``(evaluation_index, best_cost_so_far)`` samples, recorded whenever
+        the incumbent improves — enough to plot convergence curves without
+        storing every evaluation.
+    accepted_moves:
+        For move-based engines (simulated annealing, GA), how many candidate
+        moves were accepted; 0 for constructive or enumerative engines.
+    """
+
+    best_mapping: Mapping
+    best_cost: float
+    evaluations: int
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    accepted_moves: int = 0
+
+    def improvement_over(self, reference_cost: float) -> float:
+        """Relative improvement of ``best_cost`` w.r.t. *reference_cost*.
+
+        Returns e.g. ``0.25`` when the search found a mapping 25 % cheaper
+        than the reference.  Zero when the reference is not positive.
+        """
+        if reference_cost <= 0:
+            return 0.0
+        return (reference_cost - self.best_cost) / reference_cost
+
+
+class Searcher(ABC):
+    """A mapping search engine.
+
+    Engines are stateless with respect to the application: everything they
+    know about the problem comes through the objective function and the
+    initial mapping, which makes them reusable for CWM and CDCM objectives
+    alike (exactly how the paper's FRW framework reuses its two search
+    methods for both models).
+    """
+
+    #: Short identifier used by the registry and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def search(
+        self,
+        objective: Objective,
+        initial: Mapping,
+        rng: RandomSource = None,
+    ) -> SearchResult:
+        """Minimise *objective* starting from the *initial* mapping."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["Objective", "SearchResult", "Searcher"]

@@ -1,0 +1,112 @@
+"""Exhaustive search over all core-to-tile assignments.
+
+The paper uses exhaustive search (ES) on small NoCs (up to 3x4 / 2x5) as the
+optimality reference for simulated annealing; for those sizes both methods
+reach the same solutions.  The search space is every injective assignment of
+the ``m`` application cores to the ``n`` tiles — ``n! / (n-m)!`` mappings —
+so the engine refuses (by default) to enumerate spaces larger than a
+configurable bound instead of silently running for hours.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+from typing import Optional
+
+from repro.core.mapping import Mapping
+from repro.search.base import Objective, SearchResult, Searcher
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomSource
+
+
+class ExhaustiveSearch(Searcher):
+    """Enumerate every injective mapping and keep the cheapest.
+
+    Parameters
+    ----------
+    max_candidates:
+        Safety bound on the number of mappings the engine will enumerate.
+        ``None`` disables the bound.
+    fix_first_core:
+        When True, the first core (in sorted order) is only placed on tiles of
+        one mesh quadrant... more precisely it is pinned to the tiles it was
+        *not* already symmetric to; since a full symmetry reduction requires
+        knowledge of the mesh automorphisms, the implementation simply pins
+        the first core to its initial tile's orbit under enumeration order by
+        fixing it to each tile index ``<= n // 2``.  This halves (at least)
+        the enumeration effort while still containing an optimal mapping for
+        symmetric meshes.  Disabled by default to keep the engine exact for
+        any topology.
+    """
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        max_candidates: Optional[int] = 2_000_000,
+        fix_first_core: bool = False,
+    ) -> None:
+        self.max_candidates = max_candidates
+        self.fix_first_core = fix_first_core
+
+    def search(
+        self,
+        objective: Objective,
+        initial: Mapping,
+        rng: RandomSource = None,
+    ) -> SearchResult:
+        del rng  # the enumeration is deterministic
+        cores = initial.cores
+        num_tiles = initial.num_tiles
+        if num_tiles is None:
+            raise ConfigurationError(
+                "exhaustive search requires the initial mapping to know the NoC size"
+            )
+        space = self.search_space_size(len(cores), num_tiles)
+        if self.max_candidates is not None and space > self.max_candidates:
+            raise ConfigurationError(
+                f"exhaustive search space has {space} mappings, above the "
+                f"configured bound of {self.max_candidates}; use simulated "
+                f"annealing for this NoC size"
+            )
+
+        best_mapping = initial
+        best_cost = objective(initial)
+        evaluations = 1
+        history = [(1, best_cost)]
+
+        tile_indices = list(range(num_tiles))
+        first_core_tiles = None
+        if self.fix_first_core and cores:
+            first_core_tiles = set(range((num_tiles + 1) // 2))
+
+        for assignment in permutations(tile_indices, len(cores)):
+            if first_core_tiles is not None and assignment[0] not in first_core_tiles:
+                continue
+            candidate = Mapping(dict(zip(cores, assignment)), num_tiles=num_tiles)
+            if candidate == initial:
+                continue
+            cost = objective(candidate)
+            evaluations += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_mapping = candidate
+                history.append((evaluations, cost))
+
+        return SearchResult(
+            best_mapping=best_mapping,
+            best_cost=best_cost,
+            evaluations=evaluations,
+            history=history,
+        )
+
+    @staticmethod
+    def search_space_size(num_cores: int, num_tiles: int) -> int:
+        """Number of injective mappings of *num_cores* cores onto *num_tiles* tiles."""
+        if num_cores > num_tiles:
+            return 0
+        return math.perm(num_tiles, num_cores)
+
+
+__all__ = ["ExhaustiveSearch"]

@@ -1,0 +1,53 @@
+"""Registry of search engines, for configuration-by-name.
+
+The FRW framework (and the benchmark harness) select search methods by a
+short string — ``"annealing"``, ``"exhaustive"``, ``"random"``, ``"genetic"``
+— exactly like the paper's "ES" and "SA" columns.  The greedy constructive
+heuristic is not registered here because it needs the application CWG at
+construction time; it is exposed through
+:class:`repro.search.greedy.GreedyConstructive` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.base import Searcher
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.genetic import GeneticSearch
+from repro.search.random_search import RandomSearch
+from repro.utils.errors import ConfigurationError
+
+_REGISTRY: Dict[str, Type[Searcher]] = {
+    SimulatedAnnealing.name: SimulatedAnnealing,
+    ExhaustiveSearch.name: ExhaustiveSearch,
+    RandomSearch.name: RandomSearch,
+    GeneticSearch.name: GeneticSearch,
+    # Aliases matching the paper's abbreviations.
+    "sa": SimulatedAnnealing,
+    "es": ExhaustiveSearch,
+}
+
+
+def available_searchers() -> List[str]:
+    """Names accepted by :func:`get_searcher` (aliases included), sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_searcher(name: str, **kwargs) -> Searcher:
+    """Instantiate a search engine by name.
+
+    Keyword arguments are forwarded to the engine constructor, e.g.
+    ``get_searcher("annealing", schedule=FAST_SCHEDULE)``.
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown search engine {name!r}; available: {available_searchers()}"
+        ) from exc
+    return cls(**kwargs)
+
+
+__all__ = ["available_searchers", "get_searcher"]

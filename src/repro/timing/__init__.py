@@ -1,0 +1,32 @@
+"""Timing model: wormhole delay equations and timing-diagram extraction.
+
+* :mod:`repro.timing.delays` — the closed-form, contention-free delay
+  equations (6)–(8) of the paper (routing delay, packet delay, total delay).
+* :mod:`repro.timing.gantt` — turns a :class:`~repro.noc.scheduler.ScheduleResult`
+  into the per-packet timing diagrams of Figures 4 and 5 (computation /
+  routing / packet / contention segments) and renders them as ASCII charts.
+"""
+
+from repro.timing.delays import (
+    routing_delay,
+    packet_delay,
+    total_packet_delay,
+    zero_load_delay,
+)
+from repro.timing.gantt import (
+    PacketTimeline,
+    TimelineSegment,
+    build_timelines,
+    render_ascii_gantt,
+)
+
+__all__ = [
+    "routing_delay",
+    "packet_delay",
+    "total_packet_delay",
+    "zero_load_delay",
+    "PacketTimeline",
+    "TimelineSegment",
+    "build_timelines",
+    "render_ascii_gantt",
+]

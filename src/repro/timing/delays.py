@@ -1,0 +1,63 @@
+"""Contention-free wormhole delay equations — (6), (7) and (8) of the paper.
+
+For a packet of ``n_abq`` flits traversing ``K`` routers without contention:
+
+* routing delay   ``dR_ijq = (K x (tr + tl) + tl) x lambda``   (equation 6) —
+  the time for the header flit to reach the target core and establish the
+  path;
+* packet delay    ``dP_ijq = (tl x (n_abq - 1)) x lambda``      (equation 7) —
+  the time for the remaining flits to stream in behind the header;
+* total delay     ``d_ijq  = (K x (tr + tl) + tl x n_abq) x lambda`` (equation 8).
+
+These are the zero-load latencies; contention can only be determined by
+replaying the CDCG (see :mod:`repro.noc.scheduler`), which is the paper's
+argument for CDCM.
+"""
+
+from __future__ import annotations
+
+from repro.noc.platform import NocParameters
+from repro.utils.errors import ConfigurationError
+
+
+def _check(hop_count: int, num_flits: int | None = None) -> None:
+    if hop_count < 1:
+        raise ConfigurationError(
+            f"a route traverses at least one router, got hop_count={hop_count}"
+        )
+    if num_flits is not None and num_flits < 1:
+        raise ConfigurationError(
+            f"a packet has at least one flit, got num_flits={num_flits}"
+        )
+
+
+def routing_delay(parameters: NocParameters, hop_count: int) -> float:
+    """Equation (6): header (path-establishment) delay in nanoseconds."""
+    _check(hop_count)
+    cycles = hop_count * (parameters.routing_cycles + parameters.link_cycles)
+    cycles += parameters.link_cycles
+    return cycles * parameters.clock_period
+
+
+def packet_delay(parameters: NocParameters, num_flits: int) -> float:
+    """Equation (7): body (remaining flits) delay in nanoseconds."""
+    _check(1, num_flits)
+    return parameters.link_cycles * (num_flits - 1) * parameters.clock_period
+
+
+def total_packet_delay(
+    parameters: NocParameters, hop_count: int, num_flits: int
+) -> float:
+    """Equation (8): total contention-free packet delay in nanoseconds."""
+    _check(hop_count, num_flits)
+    cycles = hop_count * (parameters.routing_cycles + parameters.link_cycles)
+    cycles += parameters.link_cycles * num_flits
+    return cycles * parameters.clock_period
+
+
+def zero_load_delay(parameters: NocParameters, hop_count: int, bits: int) -> float:
+    """Total contention-free delay of a packet given its size in bits."""
+    return total_packet_delay(parameters, hop_count, parameters.flits(bits))
+
+
+__all__ = ["routing_delay", "packet_delay", "total_packet_delay", "zero_load_delay"]

@@ -1,0 +1,206 @@
+"""Timing-diagram extraction — the Figures 4 and 5 of the paper.
+
+The paper visualises a scheduled mapping as one horizontal bar per packet,
+decomposed into four segment kinds:
+
+* **computation** — the source core computes for ``t_aq`` before injecting;
+* **routing** — the header establishes the path (equation 6);
+* **contention** — time spent waiting in an input buffer for a busy link;
+* **packet** — the remaining flits stream behind the header (equation 7).
+
+:func:`build_timelines` reconstructs those segments from a
+:class:`~repro.noc.scheduler.ScheduleResult`, and :func:`render_ascii_gantt`
+renders them as a fixed-width text chart (``c`` computation, ``r`` routing,
+``x`` contention, ``=`` packet), which is how the benchmark harness
+regenerates Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.noc.platform import NocParameters
+from repro.noc.scheduler import PacketSchedule, ScheduleResult
+from repro.timing.delays import packet_delay, routing_delay
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One segment of a packet's timeline.
+
+    Attributes
+    ----------
+    kind:
+        ``"computation"``, ``"routing"``, ``"contention"`` or ``"packet"``.
+    start, end:
+        Absolute times in nanoseconds.
+    """
+
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class PacketTimeline:
+    """Timeline of one packet: its label and ordered segments."""
+
+    packet: str
+    label: str
+    segments: tuple[TimelineSegment, ...]
+
+    @property
+    def start(self) -> float:
+        return self.segments[0].start if self.segments else 0.0
+
+    @property
+    def end(self) -> float:
+        return self.segments[-1].end if self.segments else 0.0
+
+    def duration_of(self, kind: str) -> float:
+        """Total duration of all segments of the given kind."""
+        return sum(s.duration for s in self.segments if s.kind == kind)
+
+
+def build_timelines(
+    result: ScheduleResult, parameters: NocParameters
+) -> List[PacketTimeline]:
+    """Decompose every scheduled packet into Figure-4-style segments.
+
+    Segments are laid out as: computation (ready -> injection), routing
+    (header latency, equation 6), contention (any extra delay the scheduler
+    attributed to busy links), packet (body streaming, equation 7).  The
+    segment boundaries always reconstruct the scheduler's delivery time
+    exactly.
+    """
+    timelines: List[PacketTimeline] = []
+    for name in sorted(
+        result.packet_schedules, key=lambda n: result.packet_schedules[n].ready_time
+    ):
+        sched = result.packet_schedules[name]
+        segments = _segments_for(sched, parameters)
+        label = (
+            f"{sched.packet.bits}({sched.packet.source}->{sched.packet.target})"
+            f":{sched.packet.computation_time:g}"
+        )
+        timelines.append(PacketTimeline(name, label, tuple(segments)))
+    return timelines
+
+
+def _segments_for(
+    sched: PacketSchedule, parameters: NocParameters
+) -> List[TimelineSegment]:
+    segments: List[TimelineSegment] = []
+    cursor = sched.ready_time
+    if sched.injection_time > cursor:
+        segments.append(
+            TimelineSegment("computation", cursor, sched.injection_time)
+        )
+    cursor = sched.injection_time
+    header = routing_delay(parameters, sched.hop_count)
+    segments.append(TimelineSegment("routing", cursor, cursor + header))
+    cursor += header
+    if sched.contention_delay > 0:
+        segments.append(
+            TimelineSegment("contention", cursor, cursor + sched.contention_delay)
+        )
+        cursor += sched.contention_delay
+    body = packet_delay(parameters, sched.num_flits)
+    segments.append(TimelineSegment("packet", cursor, cursor + body))
+    return segments
+
+
+_SEGMENT_CHARS = {
+    "computation": "c",
+    "routing": "r",
+    "contention": "x",
+    "packet": "=",
+}
+
+
+def render_ascii_gantt(
+    timelines: Sequence[PacketTimeline],
+    width: int = 80,
+    end_time: float | None = None,
+) -> str:
+    """Render packet timelines as a fixed-width ASCII chart.
+
+    Parameters
+    ----------
+    timelines:
+        Output of :func:`build_timelines`.
+    width:
+        Number of character columns used for the time axis.
+    end_time:
+        Time mapped to the right edge; defaults to the latest segment end.
+    """
+    if not timelines:
+        return "(no packets)"
+    horizon = end_time if end_time is not None else max(t.end for t in timelines)
+    horizon = max(horizon, 1e-9)
+    label_width = max(len(t.label) for t in timelines) + 2
+
+    def column(time: float) -> int:
+        return min(width - 1, int(round(time / horizon * (width - 1))))
+
+    lines = []
+    for timeline in timelines:
+        row = [" "] * width
+        for segment in timeline.segments:
+            first = column(segment.start)
+            last = max(first, column(segment.end) - 1)
+            char = _SEGMENT_CHARS.get(segment.kind, "?")
+            for idx in range(first, last + 1):
+                row[idx] = char
+        lines.append(f"{timeline.label.ljust(label_width)}|{''.join(row)}|")
+
+    axis = _axis_line(horizon, width, label_width)
+    legend = (
+        " " * label_width
+        + " legend: c=computation  r=routing  x=contention  ===packet"
+    )
+    return "\n".join(lines + [axis, legend])
+
+
+def _axis_line(horizon: float, width: int, label_width: int) -> str:
+    ticks = 8
+    row = [" "] * width
+    labels: Dict[int, str] = {}
+    for i in range(ticks + 1):
+        time = horizon * i / ticks
+        col = min(width - 1, int(round(time / horizon * (width - 1))))
+        row[col] = "+"
+        labels[col] = f"{time:g}"
+    axis = " " * label_width + "|" + "".join(row) + "|"
+    label_row = [" "] * (width + label_width + 2)
+    for col, text in labels.items():
+        start = label_width + 1 + col
+        for offset, char in enumerate(text):
+            pos = start + offset
+            if pos < len(label_row):
+                label_row[pos] = char
+    return axis + "\n" + "".join(label_row).rstrip()
+
+
+def summarize_timelines(timelines: Sequence[PacketTimeline]) -> Dict[str, float]:
+    """Aggregate totals per segment kind plus the overall makespan."""
+    summary = {kind: 0.0 for kind in _SEGMENT_CHARS}
+    for timeline in timelines:
+        for kind in _SEGMENT_CHARS:
+            summary[kind] += timeline.duration_of(kind)
+    summary["makespan"] = max((t.end for t in timelines), default=0.0)
+    return summary
+
+
+__all__ = [
+    "TimelineSegment",
+    "PacketTimeline",
+    "build_timelines",
+    "render_ascii_gantt",
+    "summarize_timelines",
+]

@@ -1,0 +1,50 @@
+"""Shared utilities: units, deterministic RNG handling, and error types.
+
+These helpers are intentionally small and dependency-free so that every other
+subpackage (graphs, noc, energy, search, ...) can rely on them without import
+cycles.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    GraphValidationError,
+    MappingError,
+    SchedulingError,
+    ConfigurationError,
+)
+from repro.utils.rng import RandomSource, ensure_rng, spawn_seeds
+from repro.utils.units import (
+    NS,
+    US,
+    MS,
+    S,
+    PICOJOULE,
+    NANOJOULE,
+    MICROJOULE,
+    JOULE,
+    format_energy,
+    format_time,
+    bits_to_flits,
+)
+
+__all__ = [
+    "ReproError",
+    "GraphValidationError",
+    "MappingError",
+    "SchedulingError",
+    "ConfigurationError",
+    "RandomSource",
+    "ensure_rng",
+    "spawn_seeds",
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "PICOJOULE",
+    "NANOJOULE",
+    "MICROJOULE",
+    "JOULE",
+    "format_energy",
+    "format_time",
+    "bits_to_flits",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy used across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so callers
+can catch library errors without masking programming errors such as
+``TypeError`` or ``KeyError`` coming from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphValidationError(ReproError):
+    """An application or architecture graph violates a structural invariant.
+
+    Examples: a CWG edge with non-positive weight, a CDCG with a dependence
+    cycle, a packet referring to a core that is not part of the application.
+    """
+
+
+class MappingError(ReproError):
+    """A core-to-tile mapping is malformed or incompatible with its platform.
+
+    Examples: two cores mapped to the same tile, a core mapped to a tile that
+    does not exist in the CRG, or an application with more cores than the NoC
+    has tiles.
+    """
+
+
+class SchedulingError(ReproError):
+    """The CDCM scheduler could not replay a CDCG over a mapped platform.
+
+    Raised for instance when the dependence graph never reaches the ``End``
+    vertex (a deadlock in the application model) or when a packet references a
+    route that the routing function cannot produce.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A platform, technology, or search configuration value is invalid."""

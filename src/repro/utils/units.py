@@ -1,0 +1,77 @@
+"""Unit conventions and formatting helpers.
+
+The library keeps a single convention everywhere:
+
+* **time** is expressed in nanoseconds (the paper's worked example uses a 1 ns
+  clock period, so all schedule numbers match the paper directly);
+* **energy** is expressed in picojoules (the paper quotes bit energies in
+  ``1e-12 J/bit``);
+* **power** is therefore expressed in picojoules per nanosecond (= milliwatts).
+
+The constants below convert *to* the canonical unit, e.g. ``3 * US`` is three
+microseconds expressed in nanoseconds.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time units (canonical unit: nanosecond)
+# ---------------------------------------------------------------------------
+NS = 1.0
+US = 1.0e3
+MS = 1.0e6
+S = 1.0e9
+
+# ---------------------------------------------------------------------------
+# Energy units (canonical unit: picojoule)
+# ---------------------------------------------------------------------------
+PICOJOULE = 1.0
+NANOJOULE = 1.0e3
+MICROJOULE = 1.0e6
+JOULE = 1.0e12
+
+
+def format_time(nanoseconds: float, precision: int = 2) -> str:
+    """Render a time value with an auto-selected human-readable unit."""
+    value = float(nanoseconds)
+    for unit, name in ((S, "s"), (MS, "ms"), (US, "us")):
+        if abs(value) >= unit:
+            return f"{value / unit:.{precision}f} {name}"
+    return f"{value:.{precision}f} ns"
+
+
+def format_energy(picojoules: float, precision: int = 2) -> str:
+    """Render an energy value with an auto-selected human-readable unit."""
+    value = float(picojoules)
+    for unit, name in ((JOULE, "J"), (MICROJOULE, "uJ"), (NANOJOULE, "nJ")):
+        if abs(value) >= unit:
+            return f"{value / unit:.{precision}f} {name}"
+    return f"{value:.{precision}f} pJ"
+
+
+def bits_to_flits(bits: int, flit_width: int) -> int:
+    """Number of flits needed to carry *bits* over links of *flit_width* bits.
+
+    This is the ``nabq = ceil(wabq / link width)`` quantity of the paper's
+    equation (7).  A packet always occupies at least one flit.
+    """
+    if bits <= 0:
+        raise ValueError(f"packet bit volume must be positive, got {bits}")
+    if flit_width <= 0:
+        raise ValueError(f"flit width must be positive, got {flit_width}")
+    return max(1, -(-int(bits) // int(flit_width)))
+
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "PICOJOULE",
+    "NANOJOULE",
+    "MICROJOULE",
+    "JOULE",
+    "format_time",
+    "format_energy",
+    "bits_to_flits",
+]

@@ -1,0 +1,47 @@
+"""Application workloads: the paper's worked example, embedded applications,
+TGFF-like random benchmarks and the Table 1 suite.
+
+* :mod:`repro.workloads.paper_example` — the 4-core / 6-packet application of
+  Figure 1 and its two reference mappings, used to validate the timing and
+  energy models against the paper's worked numbers;
+* :mod:`repro.workloads.embedded` — structurally faithful CDCGs for the four
+  embedded applications the paper lists (distributed Romberg integration,
+  8-point FFT, object recognition, image encoding) and their variations;
+* :mod:`repro.workloads.tgff` — a seeded random CDCG generator playing the
+  role of the proprietary TGFF-like benchmark system of Section 5;
+* :mod:`repro.workloads.suite` — the 18-application / 8-NoC-size suite whose
+  aggregate characteristics match Table 1.
+"""
+
+from repro.workloads.paper_example import (
+    paper_example_cdcg,
+    paper_example_cwg,
+    paper_example_mappings,
+    paper_example_platform,
+)
+from repro.workloads.embedded import (
+    romberg_integration,
+    fft8,
+    object_recognition,
+    image_encoder,
+    embedded_applications,
+)
+from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
+from repro.workloads.suite import SuiteEntry, table1_suite, suite_entry_by_name
+
+__all__ = [
+    "paper_example_cdcg",
+    "paper_example_cwg",
+    "paper_example_mappings",
+    "paper_example_platform",
+    "romberg_integration",
+    "fft8",
+    "object_recognition",
+    "image_encoder",
+    "embedded_applications",
+    "TgffLikeGenerator",
+    "TgffSpec",
+    "SuiteEntry",
+    "table1_suite",
+    "suite_entry_by_name",
+]

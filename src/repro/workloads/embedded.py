@@ -1,0 +1,303 @@
+"""Structurally faithful CDCGs for the paper's embedded applications.
+
+Section 5 lists four embedded applications (plus size/precision variations,
+for a total of eight): a distributed Romberg integration, an 8-point Fast
+Fourier Transform, and two image applications — object recognition and image
+encoding.  The original task graphs are not published; the constructors below
+rebuild them from the well-known dataflow structure of each algorithm:
+
+* **Romberg** — ``levels`` worker cores compute trapezoid estimates of
+  increasing refinement and a combiner performs the Richardson extrapolation
+  triangle, each extrapolation step depending on the previous column;
+* **8-point FFT** — three butterfly stages over eight point cores with
+  stride-4, stride-2 and stride-1 exchanges, each stage depending on the
+  previous one;
+* **object recognition** — a camera/segmentation front-end fanning out to
+  parallel feature extractors whose results are gathered by a classifier;
+* **image encoding** — a JPEG-like pipeline: block splitter, parallel
+  DCT/quantisation units, zig-zag + entropy coder, bitstream packer.
+
+Every constructor accepts a ``data_scale`` (bit-volume multiplier) and a
+``compute_scale`` (computation-time multiplier), which is how the paper's
+"variations" of each application are expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graphs.cdcg import CDCG
+from repro.utils.errors import ConfigurationError
+
+
+def _scaled_bits(bits: int, data_scale: float) -> int:
+    return max(1, int(round(bits * data_scale)))
+
+
+def romberg_integration(
+    levels: int = 4,
+    data_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    name: str = "romberg",
+) -> CDCG:
+    """Distributed Romberg integration over *levels* refinement levels.
+
+    Cores: a master ``M``, one worker ``W<i>`` per refinement level and a
+    combiner ``C``.  The master broadcasts the integration bounds, each worker
+    computes its composite-trapezoid estimate (cost grows with the refinement
+    level), and the combiner folds the Richardson extrapolation triangle, one
+    column at a time, before returning the result to the master.
+    """
+    if levels < 2:
+        raise ConfigurationError(f"Romberg needs at least 2 levels, got {levels}")
+    cdcg = CDCG(name)
+    master, combiner = "M", "C"
+
+    # Master -> workers: integration bounds and sample counts (small packets).
+    for level in range(levels):
+        worker = f"W{level}"
+        cdcg.add_packet(
+            f"bounds{level}",
+            master,
+            worker,
+            computation_time=2.0 * compute_scale,
+            bits=_scaled_bits(128, data_scale),
+        )
+
+    # Workers -> combiner: the trapezoid estimates.  A worker at level i
+    # evaluates 2**i + 1 sample points, so its computation time grows
+    # geometrically while the result stays one double word.
+    for level in range(levels):
+        worker = f"W{level}"
+        cdcg.add_packet(
+            f"estimate{level}",
+            worker,
+            combiner,
+            computation_time=(2.0 + 3.0 * (2**level)) * compute_scale,
+            bits=_scaled_bits(64, data_scale),
+        )
+        cdcg.add_dependence(f"bounds{level}", f"estimate{level}")
+
+    # Extrapolation columns: column k needs all estimates of column k-1.
+    # The combiner sends intermediate rows back to the master for convergence
+    # monitoring after each column.
+    previous = [f"estimate{level}" for level in range(levels)]
+    for column in range(1, levels):
+        packet = f"column{column}"
+        cdcg.add_packet(
+            packet,
+            combiner,
+            master,
+            computation_time=4.0 * (levels - column) * compute_scale,
+            bits=_scaled_bits(64 * (levels - column), data_scale),
+        )
+        for dependency in previous:
+            cdcg.add_dependence(dependency, packet)
+        previous = [packet]
+
+    cdcg.validate()
+    return cdcg
+
+
+def fft8(
+    data_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    name: str = "fft8",
+) -> CDCG:
+    """8-point decimation-in-time FFT over eight point cores.
+
+    Each stage ``s`` (stride 4, 2, 1) exchanges one complex sample between
+    butterfly partners; a stage-``s`` packet sent by core ``P<i>`` depends on
+    the packet core ``P<i>`` received in stage ``s-1``.
+    """
+    cores = [f"P{i}" for i in range(8)]
+    cdcg = CDCG(name)
+    sample_bits = _scaled_bits(64, data_scale)  # one complex sample
+    butterfly_time = 4.0 * compute_scale
+
+    received_in_previous_stage: Dict[str, List[str]] = {core: [] for core in cores}
+    for stage, stride in enumerate((4, 2, 1)):
+        received_now: Dict[str, List[str]] = {core: [] for core in cores}
+        for i in range(8):
+            partner = i ^ stride
+            source, target = cores[i], cores[partner]
+            packet = f"s{stage}_{source}_{target}"
+            cdcg.add_packet(
+                packet,
+                source,
+                target,
+                computation_time=butterfly_time,
+                bits=sample_bits,
+            )
+            for dependency in received_in_previous_stage[source]:
+                cdcg.add_dependence(dependency, packet)
+            received_now[target].append(packet)
+        received_in_previous_stage = received_now
+
+    cdcg.validate()
+    return cdcg
+
+
+def object_recognition(
+    num_features: int = 3,
+    data_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    name: str = "object-recognition",
+) -> CDCG:
+    """Object-recognition pipeline with parallel feature extractors.
+
+    Cores: camera ``CAM``, pre-processor ``PRE``, segmenter ``SEG``,
+    ``num_features`` feature extractors ``FEAT<i>``, classifier ``CLS`` and
+    decision unit ``DEC``.  Two frames are pushed through the pipeline so the
+    stages overlap, which is what creates mapping-dependent contention.
+    """
+    if num_features < 1:
+        raise ConfigurationError(
+            f"object recognition needs at least one feature extractor, got {num_features}"
+        )
+    cdcg = CDCG(name)
+    frame_bits = _scaled_bits(64 * 1024, data_scale)
+    region_bits = _scaled_bits(16 * 1024, data_scale)
+    vector_bits = _scaled_bits(512, data_scale)
+    label_bits = _scaled_bits(64, data_scale)
+
+    previous_decision = None
+    for frame in range(2):
+        capture = f"f{frame}_capture"
+        cdcg.add_packet(
+            capture, "CAM", "PRE", computation_time=8.0 * compute_scale, bits=frame_bits
+        )
+        if previous_decision is not None:
+            cdcg.add_dependence(previous_decision, capture)
+
+        filtered = f"f{frame}_filtered"
+        cdcg.add_packet(
+            filtered, "PRE", "SEG", computation_time=20.0 * compute_scale, bits=frame_bits
+        )
+        cdcg.add_dependence(capture, filtered)
+
+        gathered: List[str] = []
+        for feature in range(num_features):
+            region = f"f{frame}_region{feature}"
+            cdcg.add_packet(
+                region,
+                "SEG",
+                f"FEAT{feature}",
+                computation_time=15.0 * compute_scale,
+                bits=region_bits,
+            )
+            cdcg.add_dependence(filtered, region)
+            vector = f"f{frame}_vector{feature}"
+            cdcg.add_packet(
+                vector,
+                f"FEAT{feature}",
+                "CLS",
+                computation_time=25.0 * compute_scale,
+                bits=vector_bits,
+            )
+            cdcg.add_dependence(region, vector)
+            gathered.append(vector)
+
+        decision = f"f{frame}_decision"
+        cdcg.add_packet(
+            decision, "CLS", "DEC", computation_time=12.0 * compute_scale, bits=label_bits
+        )
+        for vector in gathered:
+            cdcg.add_dependence(vector, decision)
+        previous_decision = decision
+
+    cdcg.validate()
+    return cdcg
+
+
+def image_encoder(
+    num_block_units: int = 4,
+    data_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    name: str = "image-encoder",
+) -> CDCG:
+    """JPEG-like image encoding pipeline.
+
+    Cores: source ``SRC``, block splitter ``SPLIT``, ``num_block_units``
+    DCT/quantisation units ``DCTQ<i>``, entropy coder ``VLC`` and bitstream
+    packer ``PACK``.  Two macro-block batches are pushed through the pipeline.
+    """
+    if num_block_units < 1:
+        raise ConfigurationError(
+            f"image encoder needs at least one DCT unit, got {num_block_units}"
+        )
+    cdcg = CDCG(name)
+    tile_bits = _scaled_bits(32 * 1024, data_scale)
+    block_bits = _scaled_bits(8 * 1024, data_scale)
+    coeff_bits = _scaled_bits(6 * 1024, data_scale)
+    stream_bits = _scaled_bits(4 * 1024, data_scale)
+
+    previous_stream = None
+    for batch in range(2):
+        load = f"b{batch}_load"
+        cdcg.add_packet(
+            load, "SRC", "SPLIT", computation_time=6.0 * compute_scale, bits=tile_bits
+        )
+        if previous_stream is not None:
+            cdcg.add_dependence(previous_stream, load)
+
+        coded: List[str] = []
+        for unit in range(num_block_units):
+            block = f"b{batch}_block{unit}"
+            cdcg.add_packet(
+                block,
+                "SPLIT",
+                f"DCTQ{unit}",
+                computation_time=8.0 * compute_scale,
+                bits=block_bits,
+            )
+            cdcg.add_dependence(load, block)
+            coeff = f"b{batch}_coeff{unit}"
+            cdcg.add_packet(
+                coeff,
+                f"DCTQ{unit}",
+                "VLC",
+                computation_time=18.0 * compute_scale,
+                bits=coeff_bits,
+            )
+            cdcg.add_dependence(block, coeff)
+            coded.append(coeff)
+
+        stream = f"b{batch}_stream"
+        cdcg.add_packet(
+            stream, "VLC", "PACK", computation_time=10.0 * compute_scale, bits=stream_bits
+        )
+        for coeff in coded:
+            cdcg.add_dependence(coeff, stream)
+        previous_stream = stream
+
+    cdcg.validate()
+    return cdcg
+
+
+def embedded_applications() -> Dict[str, CDCG]:
+    """The eight embedded applications of Section 5: four algorithms, each
+    with one variation (different data or refinement scale)."""
+    return {
+        "romberg": romberg_integration(levels=4),
+        "romberg-deep": romberg_integration(levels=6, name="romberg-deep"),
+        "fft8": fft8(),
+        "fft8-wide": fft8(data_scale=4.0, name="fft8-wide"),
+        "object-recognition": object_recognition(),
+        "object-recognition-hd": object_recognition(
+            num_features=4, data_scale=4.0, name="object-recognition-hd"
+        ),
+        "image-encoder": image_encoder(),
+        "image-encoder-hd": image_encoder(
+            num_block_units=6, data_scale=2.0, name="image-encoder-hd"
+        ),
+    }
+
+
+__all__ = [
+    "romberg_integration",
+    "fft8",
+    "object_recognition",
+    "image_encoder",
+    "embedded_applications",
+]

@@ -1,0 +1,90 @@
+"""The worked example of the paper (Figures 1 to 5).
+
+Four IP cores A, B, E, F exchange six packets on a 2x2 mesh NoC:
+
+* CWG edges (Figure 1a): ``w_AB = 15``, ``w_AF = 15``, ``w_BF = 40``,
+  ``w_EA = 35``, ``w_FB = 15``;
+* CDCG packets (Figure 1b): two packets E->A (20 bits after 10 ns of
+  computation, then 15 bits after 20 ns), one packet A->B (15 bits, 6 ns),
+  one packet A->F (15 bits, 6 ns), one packet B->F (40 bits, 10 ns), one
+  packet F->B (15 bits, 6 ns);
+* dependences: E->A(2) follows E->A(1); A->F follows both A->B and E->A(1);
+  F->B follows A->F.  A->B, B->F and E->A(1) are the initial packets.
+
+The two reference mappings of Figure 1(c, d) are exposed as
+:func:`paper_example_mappings`; with the example platform parameters
+(tr = 2 cycles, tl = 1 cycle, 1 ns clock, one-bit flits, ERbit = ELbit =
+1 pJ/bit, PstNoC = 0.1 pJ/ns), mapping (c) executes in 100 ns and consumes
+400 pJ while mapping (d) executes in 90 ns and consumes 399 pJ — the numbers
+of Figures 2 to 5, reproduced exactly by this library's models (see
+``tests/test_paper_example.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.mapping import Mapping
+from repro.graphs.cdcg import CDCG
+from repro.graphs.convert import cdcg_to_cwg
+from repro.graphs.cwg import CWG
+from repro.noc.platform import Platform, paper_example_platform
+
+#: Tile indices of the paper's 2x2 mesh, in this library's row-major
+#: numbering: tau1 -> 0, tau2 -> 1, tau3 -> 2, tau4 -> 3 (Figure 1(c, d) puts
+#: tau1/tau2 on the top row and tau3/tau4 on the bottom row).
+TAU1, TAU2, TAU3, TAU4 = 0, 1, 2, 3
+
+
+def paper_example_cdcg() -> CDCG:
+    """The CDCG of Figure 1(b)."""
+    cdcg = CDCG("paper-example")
+    cdcg.add_packet("AB1", "A", "B", computation_time=6.0, bits=15)
+    cdcg.add_packet("BF1", "B", "F", computation_time=10.0, bits=40)
+    cdcg.add_packet("EA1", "E", "A", computation_time=10.0, bits=20)
+    cdcg.add_packet("EA2", "E", "A", computation_time=20.0, bits=15)
+    cdcg.add_packet("AF1", "A", "F", computation_time=6.0, bits=15)
+    cdcg.add_packet("FB1", "F", "B", computation_time=6.0, bits=15)
+    cdcg.add_dependence("EA1", "EA2")
+    cdcg.add_dependence("AB1", "AF1")
+    cdcg.add_dependence("EA1", "AF1")
+    cdcg.add_dependence("AF1", "FB1")
+    cdcg.validate()
+    return cdcg
+
+
+def paper_example_cwg() -> CWG:
+    """The CWG of Figure 1(a) — the collapse of the example CDCG."""
+    return cdcg_to_cwg(paper_example_cdcg())
+
+
+def paper_example_mappings() -> Dict[str, Mapping]:
+    """The two reference mappings of Figure 1(c) and 1(d).
+
+    * mapping ``"c"``: B on tau1, A on tau2, F on tau3, E on tau4 — suffers
+      contention between the A->F and B->F packets (Figure 4), executing in
+      100 ns;
+    * mapping ``"d"``: B on tau1, E on tau2, F on tau3, A on tau4 —
+      contention free (Figure 5), executing in 90 ns.
+    """
+    mapping_c = Mapping({"B": TAU1, "A": TAU2, "F": TAU3, "E": TAU4}, num_tiles=4)
+    mapping_d = Mapping({"B": TAU1, "E": TAU2, "F": TAU3, "A": TAU4}, num_tiles=4)
+    return {"c": mapping_c, "d": mapping_d}
+
+
+def paper_example() -> Tuple[CDCG, Platform, Dict[str, Mapping]]:
+    """Convenience bundle: (CDCG, example platform, the two reference mappings)."""
+    return paper_example_cdcg(), paper_example_platform(), paper_example_mappings()
+
+
+__all__ = [
+    "TAU1",
+    "TAU2",
+    "TAU3",
+    "TAU4",
+    "paper_example_cdcg",
+    "paper_example_cwg",
+    "paper_example_mappings",
+    "paper_example_platform",
+    "paper_example",
+]

@@ -1,0 +1,227 @@
+"""TGFF-like random CDCG benchmark generator.
+
+The paper's random benchmarks come from "a proprietary system, which is
+similar to TGFF; however, the system describes benchmarks through CDCGs,
+representing message dependence and bit volume of each message".  This module
+is that system's stand-in: a seeded generator that produces CDCGs with an
+exact number of cores, an exact number of packets and an exact total bit
+volume (the three aggregate characteristics Table 1 reports), plus a layered
+dependence structure that creates both packet-level parallelism (so mappings
+can differ in contention) and chains (so computation time matters).
+
+Generation model
+----------------
+1. Packets are partitioned into *levels*; level-0 packets depend on nothing,
+   a packet at level ``l`` depends on one or two packets of earlier levels.
+2. A packet's source core is preferentially the *target* core of one of its
+   dependences — data arrives at a core, the core computes, then forwards —
+   which mirrors how CDCGs of real applications are written by hand.
+3. Bit volumes follow a lognormal distribution rescaled (and integer-adjusted)
+   so their sum equals ``total_bits`` exactly.
+4. Computation times are drawn relative to the time it takes to serialise an
+   average packet on the link (``computation_scale`` controls the ratio of
+   computation to communication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.cdcg import CDCG
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class TgffSpec:
+    """Parameters of one generated benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (becomes the CDCG name).
+    num_cores:
+        Number of IP cores (CWG vertices).
+    num_packets:
+        Number of packets (CDCG vertices).
+    total_bits:
+        Exact total bit volume over all packets.
+    levels:
+        Number of dependence levels; ``None`` chooses roughly
+        ``sqrt(num_packets)`` levels so depth and width grow together.
+    dependence_density:
+        Probability that a non-initial packet has a second dependence,
+        creating joins in the graph.
+    computation_scale:
+        Mean computation time of a core, expressed as a multiple of the
+        average packet serialisation time (bits / flit_width cycles).  Larger
+        values make the workload computation-dominated.
+    flit_width:
+        Flit width assumed when converting packet sizes into serialisation
+        times for the computation-time model (purely a generation-time
+        assumption; the platform used for mapping can differ).
+    clock_period:
+        Clock period assumed for the same purpose, in nanoseconds.
+    """
+
+    name: str
+    num_cores: int
+    num_packets: int
+    total_bits: int
+    levels: Optional[int] = None
+    dependence_density: float = 0.35
+    computation_scale: float = 1.0
+    flit_width: int = 32
+    clock_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 2:
+            raise ConfigurationError(
+                f"a benchmark needs at least 2 cores, got {self.num_cores}"
+            )
+        if self.num_packets < 1:
+            raise ConfigurationError(
+                f"a benchmark needs at least 1 packet, got {self.num_packets}"
+            )
+        if self.total_bits < self.num_packets:
+            raise ConfigurationError(
+                "total_bits must allow at least one bit per packet "
+                f"(got {self.total_bits} bits for {self.num_packets} packets)"
+            )
+        if not 0.0 <= self.dependence_density <= 1.0:
+            raise ConfigurationError(
+                f"dependence_density must be in [0, 1], got {self.dependence_density}"
+            )
+        if self.computation_scale < 0:
+            raise ConfigurationError(
+                f"computation_scale must be non-negative, got {self.computation_scale}"
+            )
+
+
+class TgffLikeGenerator:
+    """Seeded generator of random CDCG benchmarks."""
+
+    def __init__(self, seed: RandomSource = None) -> None:
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, spec: TgffSpec) -> CDCG:
+        """Generate one benchmark CDCG according to *spec*.
+
+        The returned graph has exactly ``spec.num_cores`` cores,
+        ``spec.num_packets`` packets and ``spec.total_bits`` total bits, and
+        is guaranteed acyclic by construction (dependences only point from
+        earlier to later levels).
+        """
+        rng = self._rng
+        cores = [f"c{i}" for i in range(spec.num_cores)]
+        cdcg = CDCG(spec.name)
+        for core in cores:
+            cdcg.add_core(core)
+
+        bits = self._packet_bits(spec, rng)
+        levels = self._assign_levels(spec, rng)
+        computation_times = self._computation_times(spec, bits, rng)
+
+        # Packets are created level by level so dependences can be drawn from
+        # already-created packets only.
+        packets_by_level: List[List[str]] = [[] for _ in range(max(levels) + 1)]
+        order = sorted(range(spec.num_packets), key=lambda i: (levels[i], i))
+
+        target_by_packet: dict[str, str] = {}
+        for index in order:
+            level = levels[index]
+            name = f"p{index}"
+            predecessors: List[str] = []
+            if level > 0:
+                pool = [p for lvl in range(level) for p in packets_by_level[lvl]]
+                predecessors.append(pool[int(rng.integers(len(pool)))])
+                if (
+                    len(pool) > 1
+                    and rng.random() < spec.dependence_density
+                ):
+                    second = pool[int(rng.integers(len(pool)))]
+                    if second != predecessors[0]:
+                        predecessors.append(second)
+
+            if predecessors:
+                # Data flows: the new packet is sent by the core that received
+                # one of its predecessors.
+                source = target_by_packet[predecessors[0]]
+            else:
+                source = cores[int(rng.integers(len(cores)))]
+            target_choices = [core for core in cores if core != source]
+            target = target_choices[int(rng.integers(len(target_choices)))]
+
+            cdcg.add_packet(
+                name,
+                source,
+                target,
+                computation_time=computation_times[index],
+                bits=int(bits[index]),
+            )
+            for predecessor in predecessors:
+                cdcg.add_dependence(predecessor, name)
+            packets_by_level[level].append(name)
+            target_by_packet[name] = target
+
+        cdcg.validate()
+        return cdcg
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _packet_bits(spec: TgffSpec, rng: np.random.Generator) -> np.ndarray:
+        """Lognormal packet sizes rescaled to sum exactly to ``total_bits``."""
+        raw = rng.lognormal(mean=0.0, sigma=0.8, size=spec.num_packets)
+        scaled = raw / raw.sum() * (spec.total_bits - spec.num_packets)
+        bits = np.floor(scaled).astype(np.int64) + 1  # at least one bit each
+        deficit = spec.total_bits - int(bits.sum())
+        # Distribute the integer rounding remainder over the largest packets.
+        order = np.argsort(-scaled)
+        idx = 0
+        while deficit != 0:
+            step = 1 if deficit > 0 else -1
+            position = order[idx % spec.num_packets]
+            if bits[position] + step >= 1:
+                bits[position] += step
+                deficit -= step
+            idx += 1
+        return bits
+
+    @staticmethod
+    def _assign_levels(spec: TgffSpec, rng: np.random.Generator) -> List[int]:
+        """Assign each packet a dependence level."""
+        if spec.levels is not None:
+            num_levels = max(1, min(spec.levels, spec.num_packets))
+        else:
+            num_levels = max(1, int(round(np.sqrt(spec.num_packets))))
+        levels = [int(rng.integers(num_levels)) for _ in range(spec.num_packets)]
+        # Ensure level 0 is populated so the graph has initial packets.
+        if 0 not in levels:
+            levels[int(rng.integers(spec.num_packets))] = 0
+        return levels
+
+    @staticmethod
+    def _computation_times(
+        spec: TgffSpec, bits: np.ndarray, rng: np.random.Generator
+    ) -> List[float]:
+        """Computation times relative to the average packet serialisation time."""
+        if spec.computation_scale == 0:
+            return [0.0] * spec.num_packets
+        average_flits = max(1.0, float(bits.mean()) / spec.flit_width)
+        mean_time = spec.computation_scale * average_flits * spec.clock_period
+        times = rng.uniform(0.2 * mean_time, 1.8 * mean_time, size=spec.num_packets)
+        return [float(round(t, 3)) for t in times]
+
+
+def generate_benchmark(spec: TgffSpec, seed: RandomSource = None) -> CDCG:
+    """One-shot convenience wrapper around :class:`TgffLikeGenerator`."""
+    return TgffLikeGenerator(seed).generate(spec)
+
+
+__all__ = ["TgffSpec", "TgffLikeGenerator", "generate_benchmark"]

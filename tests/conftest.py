@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from a
+# source checkout): put src/ on the path if the package is not importable.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import Mapping, Mesh, NocParameters, Platform, XYRouting  # noqa: E402
+from repro.energy.technology import TECH_PAPER_EXAMPLE  # noqa: E402
+from repro.graphs.cdcg import CDCG  # noqa: E402
+from repro.workloads.paper_example import (  # noqa: E402
+    paper_example_cdcg,
+    paper_example_cwg,
+    paper_example_mappings,
+    paper_example_platform,
+)
+
+
+@pytest.fixture
+def example_cdcg() -> CDCG:
+    """The paper's 4-core / 6-packet example application."""
+    return paper_example_cdcg()
+
+
+@pytest.fixture
+def example_cwg():
+    """The CWG collapse of the example application."""
+    return paper_example_cwg()
+
+
+@pytest.fixture
+def example_platform() -> Platform:
+    """The 2x2 example platform (tr=2, tl=1, 1 ns clock, 1-bit flits)."""
+    return paper_example_platform()
+
+
+@pytest.fixture
+def example_mappings():
+    """The two reference mappings of Figure 1(c, d)."""
+    return paper_example_mappings()
+
+
+@pytest.fixture
+def small_platform() -> Platform:
+    """A 3x3 platform with default (32-bit flit) parameters."""
+    return Platform(mesh=Mesh(3, 3), routing=XYRouting(), parameters=NocParameters())
+
+
+@pytest.fixture
+def linear_cdcg() -> CDCG:
+    """A tiny three-packet chain used by scheduler and search unit tests."""
+    cdcg = CDCG("chain")
+    cdcg.add_packet("p0", "a", "b", computation_time=5.0, bits=64)
+    cdcg.add_packet("p1", "b", "c", computation_time=3.0, bits=32)
+    cdcg.add_packet("p2", "c", "a", computation_time=2.0, bits=16)
+    cdcg.add_dependence("p0", "p1")
+    cdcg.add_dependence("p1", "p2")
+    return cdcg
+
+
+@pytest.fixture
+def fork_join_cdcg() -> CDCG:
+    """A fork-join CDCG: one producer fans out to two consumers that both feed
+    a final collector packet.  Used to exercise concurrency and contention."""
+    cdcg = CDCG("forkjoin")
+    cdcg.add_packet("seed_x", "src", "x", computation_time=2.0, bits=200)
+    cdcg.add_packet("seed_y", "src", "y", computation_time=2.0, bits=200)
+    cdcg.add_packet("xout", "x", "sink", computation_time=4.0, bits=300)
+    cdcg.add_packet("yout", "y", "sink", computation_time=4.0, bits=300)
+    cdcg.add_packet("done", "sink", "src", computation_time=1.0, bits=32)
+    cdcg.add_dependence("seed_x", "xout")
+    cdcg.add_dependence("seed_y", "yout")
+    cdcg.add_dependence("xout", "done")
+    cdcg.add_dependence("yout", "done")
+    return cdcg
+
+
+@pytest.fixture
+def example_technology():
+    """The ERbit = ELbit = 1 pJ/bit technology of the worked example."""
+    return TECH_PAPER_EXAMPLE
+
+
+@pytest.fixture
+def identity_mapping_4():
+    """A->0, B->1, E->2, F->3 on a 4-tile NoC."""
+    return Mapping({"A": 0, "B": 1, "E": 2, "F": 3}, num_tiles=4)

@@ -1,0 +1,196 @@
+"""Communication dependence and computation graph (repro.graphs.cdcg)."""
+
+import pytest
+
+from repro.graphs.cdcg import CDCG, END, START, Packet, chain_dependences
+from repro.utils.errors import GraphValidationError
+
+
+@pytest.fixture
+def diamond() -> CDCG:
+    """p0 -> {p1, p2} -> p3."""
+    cdcg = CDCG("diamond")
+    cdcg.add_packet("p0", "a", "b", 1.0, 10)
+    cdcg.add_packet("p1", "b", "c", 2.0, 20)
+    cdcg.add_packet("p2", "b", "d", 3.0, 30)
+    cdcg.add_packet("p3", "c", "a", 4.0, 40)
+    cdcg.add_dependence("p0", "p1")
+    cdcg.add_dependence("p0", "p2")
+    cdcg.add_dependence("p1", "p3")
+    cdcg.add_dependence("p2", "p3")
+    return cdcg
+
+
+class TestPacket:
+    def test_valid_packet(self):
+        packet = Packet("p", "a", "b", 1.5, 10)
+        assert packet.flow == ("a", "b")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(GraphValidationError):
+            Packet("", "a", "b", 1.0, 10)
+
+    def test_rejects_reserved_names(self):
+        with pytest.raises(GraphValidationError):
+            Packet(START, "a", "b", 1.0, 10)
+        with pytest.raises(GraphValidationError):
+            Packet(END, "a", "b", 1.0, 10)
+
+    def test_rejects_self_communication(self):
+        with pytest.raises(GraphValidationError):
+            Packet("p", "a", "a", 1.0, 10)
+
+    def test_rejects_negative_computation_time(self):
+        with pytest.raises(GraphValidationError):
+            Packet("p", "a", "b", -1.0, 10)
+
+    def test_zero_computation_time_allowed(self):
+        assert Packet("p", "a", "b", 0.0, 10).computation_time == 0.0
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(GraphValidationError):
+            Packet("p", "a", "b", 1.0, 0)
+
+
+class TestConstruction:
+    def test_duplicate_packet_name_rejected(self, diamond):
+        with pytest.raises(GraphValidationError):
+            diamond.add_packet("p0", "a", "b", 1.0, 10)
+
+    def test_dependence_on_unknown_packet(self, diamond):
+        with pytest.raises(GraphValidationError):
+            diamond.add_dependence("p0", "nope")
+        with pytest.raises(GraphValidationError):
+            diamond.add_dependence("nope", "p0")
+
+    def test_dependence_on_start_end_rejected(self, diamond):
+        with pytest.raises(GraphValidationError):
+            diamond.add_dependence(START, "p0")
+
+    def test_self_dependence_rejected(self, diamond):
+        with pytest.raises(GraphValidationError):
+            diamond.add_dependence("p0", "p0")
+
+    def test_explicit_core_registration(self):
+        cdcg = CDCG()
+        cdcg.add_core("idle")
+        cdcg.add_packet("p", "a", "b", 1.0, 10)
+        assert cdcg.cores() == ["idle", "a", "b"]
+
+    def test_empty_core_name_rejected(self):
+        with pytest.raises(GraphValidationError):
+            CDCG().add_core("")
+
+
+class TestInspection:
+    def test_counts(self, diamond):
+        assert diamond.num_packets == 4
+        assert diamond.num_dependences == 4
+        assert diamond.num_cores == 4
+        assert len(diamond) == 4
+
+    def test_packet_lookup(self, diamond):
+        assert diamond.packet("p1").bits == 20
+        with pytest.raises(GraphValidationError):
+            diamond.packet("missing")
+
+    def test_contains(self, diamond):
+        assert "p0" in diamond
+        assert "zzz" not in diamond
+
+    def test_total_bits(self, diamond):
+        assert diamond.total_bits() == 100
+
+    def test_initial_and_final_packets(self, diamond):
+        assert [p.name for p in diamond.initial_packets()] == ["p0"]
+        assert [p.name for p in diamond.final_packets()] == ["p3"]
+
+    def test_successors_predecessors(self, diamond):
+        assert diamond.successors("p0") == frozenset({"p1", "p2"})
+        assert diamond.predecessors("p3") == frozenset({"p1", "p2"})
+        with pytest.raises(GraphValidationError):
+            diamond.successors("missing")
+
+    def test_packets_between(self, diamond):
+        assert [p.name for p in diamond.packets_between("b", "c")] == ["p1"]
+        assert diamond.packets_between("c", "b") == []
+
+    def test_flows(self, diamond):
+        assert diamond.flows() == [("a", "b"), ("b", "c"), ("b", "d"), ("c", "a")]
+
+    def test_dependences_iteration(self, diamond):
+        assert set(diamond.dependences()) == {
+            ("p0", "p1"),
+            ("p0", "p2"),
+            ("p1", "p3"),
+            ("p2", "p3"),
+        }
+
+
+class TestOrdering:
+    def test_topological_order_respects_dependences(self, diamond):
+        order = [p.name for p in diamond.topological_order()]
+        assert order.index("p0") < order.index("p1") < order.index("p3")
+        assert order.index("p0") < order.index("p2") < order.index("p3")
+
+    def test_topological_order_detects_cycle(self):
+        cdcg = CDCG("cyclic")
+        cdcg.add_packet("x", "a", "b", 1.0, 1)
+        cdcg.add_packet("y", "b", "a", 1.0, 1)
+        cdcg.add_dependence("x", "y")
+        cdcg.add_dependence("y", "x")
+        with pytest.raises(GraphValidationError):
+            cdcg.topological_order()
+
+    def test_critical_path_time(self, diamond):
+        # longest chain: p0 (1) -> p2 (3) -> p3 (4) = 8
+        assert diamond.critical_path_time() == pytest.approx(8.0)
+
+    def test_critical_path_of_independent_packets(self):
+        cdcg = CDCG()
+        cdcg.add_packet("x", "a", "b", 5.0, 1)
+        cdcg.add_packet("y", "c", "d", 7.0, 1)
+        assert cdcg.critical_path_time() == pytest.approx(7.0)
+
+
+class TestValidationAndConversion:
+    def test_validate_ok(self, diamond):
+        diamond.validate()
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(GraphValidationError):
+            CDCG("empty").validate()
+
+    def test_validate_rejects_cycle(self):
+        cdcg = CDCG("cyclic")
+        cdcg.add_packet("x", "a", "b", 1.0, 1)
+        cdcg.add_packet("y", "b", "a", 1.0, 1)
+        cdcg.add_dependence("x", "y")
+        cdcg.add_dependence("y", "x")
+        with pytest.raises(GraphValidationError):
+            cdcg.validate()
+
+    def test_to_networkx_includes_start_end(self, diamond):
+        graph = diamond.to_networkx()
+        assert graph.has_edge(START, "p0")
+        assert graph.has_edge("p3", END)
+        assert graph.nodes["p1"]["bits"] == 20
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_packet("extra", "a", "d", 1.0, 5)
+        assert not diamond.has_packet("extra")
+        assert clone.num_packets == diamond.num_packets + 1
+
+    def test_repr(self, diamond):
+        assert "packets=4" in repr(diamond)
+
+
+class TestChainDependences:
+    def test_chains_in_order(self):
+        cdcg = CDCG()
+        for i in range(4):
+            cdcg.add_packet(f"p{i}", "a", "b", 1.0, 1)
+        chain_dependences(cdcg, ["p0", "p1", "p2", "p3"])
+        assert cdcg.successors("p0") == frozenset({"p1"})
+        assert cdcg.predecessors("p3") == frozenset({"p2"})

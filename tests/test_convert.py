@@ -1,0 +1,53 @@
+"""CDCG -> CWG collapse (repro.graphs.convert)."""
+
+import pytest
+
+from repro.graphs.cdcg import CDCG
+from repro.graphs.convert import cdcg_to_cwg, check_consistent
+from repro.graphs.cwg import CWG
+from repro.utils.errors import GraphValidationError
+
+
+class TestCdcgToCwg:
+    def test_paper_example_volumes(self, example_cdcg):
+        cwg = cdcg_to_cwg(example_cdcg)
+        assert cwg.weight("A", "B") == 15
+        assert cwg.weight("A", "F") == 15
+        assert cwg.weight("B", "F") == 40
+        assert cwg.weight("E", "A") == 35  # two packets: 20 + 15
+        assert cwg.weight("F", "B") == 15
+        assert cwg.num_communications == 5
+
+    def test_core_set_preserved(self, example_cdcg):
+        cwg = cdcg_to_cwg(example_cdcg)
+        assert set(cwg.cores) == set(example_cdcg.cores())
+
+    def test_total_bits_preserved(self, example_cdcg):
+        assert cdcg_to_cwg(example_cdcg).total_bits() == example_cdcg.total_bits()
+
+    def test_name_override(self, example_cdcg):
+        assert cdcg_to_cwg(example_cdcg, name="renamed").name == "renamed"
+
+    def test_explicit_isolated_core_kept(self):
+        cdcg = CDCG("x")
+        cdcg.add_core("idle")
+        cdcg.add_packet("p", "a", "b", 1.0, 10)
+        cwg = cdcg_to_cwg(cdcg)
+        assert "idle" in cwg
+
+
+class TestCheckConsistent:
+    def test_accepts_derived_cwg(self, example_cdcg):
+        check_consistent(example_cdcg, cdcg_to_cwg(example_cdcg))
+
+    def test_rejects_missing_core(self, example_cdcg):
+        cwg = CWG("bad")
+        cwg.add_communication("A", "B", 15)
+        with pytest.raises(GraphValidationError):
+            check_consistent(example_cdcg, cwg)
+
+    def test_rejects_wrong_volume(self, example_cdcg):
+        cwg = cdcg_to_cwg(example_cdcg)
+        cwg.add_communication("A", "B", 1)  # now 16 instead of 15
+        with pytest.raises(GraphValidationError):
+            check_consistent(example_cdcg, cwg)

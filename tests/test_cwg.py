@@ -1,0 +1,140 @@
+"""Communication weighted graph (repro.graphs.cwg)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.cwg import CWG, Communication, cwg_from_edges
+from repro.utils.errors import GraphValidationError
+
+
+@pytest.fixture
+def simple_cwg() -> CWG:
+    cwg = CWG("simple")
+    cwg.add_communication("A", "B", 15)
+    cwg.add_communication("B", "F", 40)
+    cwg.add_communication("E", "A", 35)
+    return cwg
+
+
+class TestCommunication:
+    def test_valid_edge(self):
+        comm = Communication("A", "B", 10)
+        assert comm.bits == 10
+
+    def test_rejects_self_communication(self):
+        with pytest.raises(GraphValidationError):
+            Communication("A", "A", 10)
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(GraphValidationError):
+            Communication("A", "B", 0)
+
+
+class TestConstruction:
+    def test_add_core_idempotent(self):
+        cwg = CWG()
+        cwg.add_core("A")
+        cwg.add_core("A")
+        assert cwg.cores == ["A"]
+
+    def test_add_core_rejects_empty_name(self):
+        with pytest.raises(GraphValidationError):
+            CWG().add_core("")
+
+    def test_add_communication_registers_cores(self, simple_cwg):
+        assert set(simple_cwg.cores) == {"A", "B", "E", "F"}
+
+    def test_repeated_edges_accumulate(self):
+        cwg = CWG()
+        cwg.add_communication("A", "B", 10)
+        cwg.add_communication("A", "B", 5)
+        assert cwg.weight("A", "B") == 15
+        assert cwg.num_communications == 1
+
+
+class TestInspection:
+    def test_counts(self, simple_cwg):
+        assert simple_cwg.num_cores == 4
+        assert simple_cwg.num_communications == 3
+        assert len(simple_cwg) == 4
+
+    def test_weight_lookup(self, simple_cwg):
+        assert simple_cwg.weight("B", "F") == 40
+
+    def test_weight_missing_edge(self, simple_cwg):
+        with pytest.raises(GraphValidationError):
+            simple_cwg.weight("A", "F")
+
+    def test_total_bits(self, simple_cwg):
+        assert simple_cwg.total_bits() == 90
+
+    def test_in_out_volume(self, simple_cwg):
+        assert simple_cwg.out_volume("A") == 15
+        assert simple_cwg.in_volume("A") == 35
+        assert simple_cwg.out_volume("F") == 0
+
+    def test_volume_unknown_core(self, simple_cwg):
+        with pytest.raises(GraphValidationError):
+            simple_cwg.out_volume("Z")
+
+    def test_neighbours(self, simple_cwg):
+        assert simple_cwg.neighbours("A") == ["B", "E"]
+
+    def test_contains(self, simple_cwg):
+        assert "A" in simple_cwg
+        assert "Z" not in simple_cwg
+
+    def test_has_communication(self, simple_cwg):
+        assert simple_cwg.has_communication("A", "B")
+        assert not simple_cwg.has_communication("B", "A")
+
+    def test_communications_iteration(self, simple_cwg):
+        edges = {(c.source, c.target, c.bits) for c in simple_cwg.communications()}
+        assert edges == {("A", "B", 15), ("B", "F", 40), ("E", "A", 35)}
+
+
+class TestValidationAndConversion:
+    def test_validate_ok(self, simple_cwg):
+        simple_cwg.validate()
+
+    def test_validate_rejects_empty_graph(self):
+        with pytest.raises(GraphValidationError):
+            CWG("empty").validate()
+
+    def test_to_networkx(self, simple_cwg):
+        graph = simple_cwg.to_networkx()
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == 4
+        assert graph.edges["A", "B"]["bits"] == 15
+
+    def test_copy_is_independent(self, simple_cwg):
+        clone = simple_cwg.copy()
+        clone.add_communication("F", "E", 1)
+        assert not simple_cwg.has_communication("F", "E")
+        assert clone.has_communication("F", "E")
+
+    def test_equality(self, simple_cwg):
+        assert simple_cwg == simple_cwg.copy()
+        other = simple_cwg.copy()
+        other.add_communication("A", "B", 1)
+        assert simple_cwg != other
+
+    def test_unhashable(self, simple_cwg):
+        with pytest.raises(TypeError):
+            hash(simple_cwg)
+
+    def test_repr_mentions_counts(self, simple_cwg):
+        text = repr(simple_cwg)
+        assert "cores=4" in text
+        assert "communications=3" in text
+
+
+class TestFromEdges:
+    def test_builds_graph(self):
+        cwg = cwg_from_edges("x", [("A", "B", 1), ("B", "C", 2)])
+        assert cwg.num_cores == 3
+        assert cwg.weight("B", "C") == 2
+
+    def test_isolated_cores_registered(self):
+        cwg = cwg_from_edges("x", [("A", "B", 1)], cores=["D"])
+        assert "D" in cwg

@@ -1,0 +1,125 @@
+"""CWM and CDCM evaluators (repro.core.cwm, repro.core.cdcm)."""
+
+import pytest
+
+from repro.core.cdcm import CdcmEvaluator
+from repro.core.cwm import CwmEvaluator
+from repro.core.mapping import Mapping
+from repro.energy.technology import TECH_0_07UM, TECH_0_35UM
+from repro.graphs.convert import cdcg_to_cwg
+from repro.noc.platform import Platform
+from repro.noc.resources import LinkResource, RouterResource
+from repro.noc.topology import Mesh
+from repro.utils.errors import ConfigurationError, MappingError
+
+
+class TestCwmEvaluator:
+    def test_cost_equals_report_total(self, example_cdcg, example_platform, example_mappings):
+        cwg = cdcg_to_cwg(example_cdcg)
+        evaluator = CwmEvaluator(example_platform)
+        cost = evaluator.cost(cwg, example_mappings["c"])
+        report = evaluator.evaluate(cwg, example_mappings["c"])
+        assert cost == pytest.approx(report.dynamic_energy)
+        assert report.total_energy == pytest.approx(report.dynamic_energy)
+
+    def test_closer_cores_cost_less(self, example_cdcg):
+        platform = Platform(mesh=Mesh(3, 3))
+        cwg = cdcg_to_cwg(example_cdcg)
+        evaluator = CwmEvaluator(platform)
+        compact = Mapping({"A": 0, "B": 1, "E": 3, "F": 4}, num_tiles=9)
+        spread = Mapping({"A": 0, "B": 2, "E": 6, "F": 8}, num_tiles=9)
+        assert evaluator.cost(cwg, compact) < evaluator.cost(cwg, spread)
+
+    def test_report_bit_accessors(self, example_cdcg, example_platform, example_mappings):
+        cwg = cdcg_to_cwg(example_cdcg)
+        report = CwmEvaluator(example_platform).evaluate(cwg, example_mappings["c"])
+        # every router is crossed by something in this example
+        assert report.router_bits(0) > 0
+        assert report.link_bits(3, 1) > 0       # E -> A traffic
+        assert report.router_bits(99) == 0
+        assert report.link_bits(0, 3) == 0       # not a mesh link
+
+    def test_missing_core_raises(self, example_cdcg, example_platform):
+        cwg = cdcg_to_cwg(example_cdcg)
+        evaluator = CwmEvaluator(example_platform)
+        with pytest.raises(MappingError):
+            evaluator.cost(cwg, {"A": 0})
+
+    def test_energy_breakdown_adapter(self, example_cdcg, example_platform, example_mappings):
+        cwg = cdcg_to_cwg(example_cdcg)
+        report = CwmEvaluator(example_platform).evaluate(cwg, example_mappings["c"])
+        breakdown = report.energy_breakdown("demo")
+        assert breakdown.static == 0.0
+        assert breakdown.dynamic == pytest.approx(390.0)
+
+
+class TestCdcmEvaluator:
+    def test_energy_metric_is_total_energy(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        evaluator = CdcmEvaluator(example_platform, metric="energy")
+        cost = evaluator.cost(example_cdcg, example_mappings["c"])
+        assert cost == pytest.approx(400.0)
+
+    def test_time_metric_is_execution_time(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        evaluator = CdcmEvaluator(example_platform, metric="time")
+        assert evaluator.cost(example_cdcg, example_mappings["d"]) == pytest.approx(90.0)
+
+    def test_weighted_metric(self, example_cdcg, example_platform, example_mappings):
+        evaluator = CdcmEvaluator(
+            example_platform, metric="weighted", energy_weight=1.0, time_weight=2.0
+        )
+        assert evaluator.cost(example_cdcg, example_mappings["c"]) == pytest.approx(
+            400.0 + 2 * 100.0
+        )
+
+    def test_unknown_metric(self, example_platform):
+        with pytest.raises(ConfigurationError):
+            CdcmEvaluator(example_platform, metric="latency")
+
+    def test_report_fields(self, example_cdcg, example_platform, example_mappings):
+        report = CdcmEvaluator(example_platform).evaluate(
+            example_cdcg, example_mappings["c"]
+        )
+        assert report.execution_time == pytest.approx(100.0)
+        assert report.dynamic_energy == pytest.approx(390.0)
+        assert report.static_energy == pytest.approx(10.0)
+        assert report.total_contention_delay == pytest.approx(7.0)
+        assert report.application == example_cdcg.name
+
+    def test_technology_override_in_evaluate(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        evaluator = CdcmEvaluator(example_platform)
+        report = evaluator.evaluate(
+            example_cdcg, example_mappings["c"], technology=TECH_0_07UM
+        )
+        assert report.energy.technology_name == "0.07um"
+        # timing is technology independent
+        assert report.execution_time == pytest.approx(100.0)
+
+    def test_reprice_keeps_schedule(self, example_cdcg, example_platform, example_mappings):
+        evaluator = CdcmEvaluator(example_platform)
+        base = evaluator.evaluate(example_cdcg, example_mappings["d"])
+        repriced = evaluator.reprice(base, TECH_0_35UM)
+        assert repriced.schedule is base.schedule
+        assert repriced.energy.technology_name == "0.35um"
+        assert repriced.execution_time == base.execution_time
+
+    def test_cdcm_distinguishes_mappings_cwm_cannot(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        cwm = CwmEvaluator(example_platform)
+        cdcm = CdcmEvaluator(example_platform)
+        cwg = cdcg_to_cwg(example_cdcg)
+        cwm_costs = {
+            name: cwm.cost(cwg, mapping) for name, mapping in example_mappings.items()
+        }
+        cdcm_costs = {
+            name: cdcm.cost(example_cdcg, mapping)
+            for name, mapping in example_mappings.items()
+        }
+        assert cwm_costs["c"] == pytest.approx(cwm_costs["d"])
+        assert cdcm_costs["d"] < cdcm_costs["c"]

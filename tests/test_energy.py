@@ -1,0 +1,184 @@
+"""Energy models: bit energy, dynamic, static, totals, technologies."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.energy.bit_energy import bit_energy_per_hop, bit_energy_route
+from repro.energy.dynamic import (
+    cdcm_dynamic_energy,
+    communication_dynamic_energy,
+    cwm_dynamic_energy,
+    dynamic_energy_breakdown,
+)
+from repro.energy.static import noc_static_energy, noc_static_power
+from repro.energy.technology import (
+    TECH_0_07UM,
+    TECH_0_35UM,
+    TECH_PAPER_EXAMPLE,
+    Technology,
+    scale_static_power,
+)
+from repro.energy.totals import EnergyBreakdown, total_energy_cdcm, total_energy_cwm
+from repro.graphs.convert import cdcg_to_cwg
+from repro.noc.scheduler import CdcmScheduler
+from repro.utils.errors import ConfigurationError, MappingError
+
+
+class TestTechnology:
+    def test_paper_example_values(self):
+        assert TECH_PAPER_EXAMPLE.e_rbit == 1.0
+        assert TECH_PAPER_EXAMPLE.e_lbit == 1.0
+        assert TECH_PAPER_EXAMPLE.router_static_power == pytest.approx(0.025)
+
+    def test_deep_submicron_has_lower_switching_higher_leakage(self):
+        assert TECH_0_07UM.e_rbit < TECH_0_35UM.e_rbit
+        assert TECH_0_07UM.router_static_power > TECH_0_35UM.router_static_power
+
+    def test_bit_energy_single_hop(self):
+        tech = Technology("t", 0.1, 2.0, 1.0, 0.5, 0.0)
+        assert tech.bit_energy_single_hop == pytest.approx(3.5)
+
+    def test_describe(self):
+        assert "ERbit" in TECH_0_35UM.describe()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Technology("bad", 0.0, 1.0, 1.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            Technology("bad", 0.1, -1.0, 1.0, 0.0, 0.0)
+
+    def test_scale_static_power(self):
+        doubled = scale_static_power(TECH_0_07UM, 2.0)
+        assert doubled.router_static_power == pytest.approx(
+            2.0 * TECH_0_07UM.router_static_power
+        )
+        assert doubled.e_rbit == TECH_0_07UM.e_rbit
+        with pytest.raises(ConfigurationError):
+            scale_static_power(TECH_0_07UM, -1.0)
+
+
+class TestBitEnergy:
+    def test_per_hop_equation1(self):
+        assert bit_energy_per_hop(TECH_PAPER_EXAMPLE) == pytest.approx(2.0)
+
+    def test_route_equation2(self):
+        # K routers, K-1 links: with ERbit = ELbit = 1 and no local term the
+        # energy is 2K - 1 per bit.
+        for hops in range(1, 6):
+            assert bit_energy_route(TECH_PAPER_EXAMPLE, hops) == pytest.approx(
+                2 * hops - 1
+            )
+
+    def test_local_links_add_two_ecbit(self):
+        tech = Technology("t", 0.1, 1.0, 1.0, 0.25, 0.0)
+        with_local = bit_energy_route(tech, 3, include_local=True)
+        without_local = bit_energy_route(tech, 3, include_local=False)
+        assert with_local - without_local == pytest.approx(0.5)
+
+    def test_invalid_hop_count(self):
+        with pytest.raises(ConfigurationError):
+            bit_energy_route(TECH_PAPER_EXAMPLE, 0)
+
+
+class TestStaticEnergy:
+    def test_power_equation5(self):
+        assert noc_static_power(TECH_PAPER_EXAMPLE, 4) == pytest.approx(0.1)
+
+    def test_energy_equation9(self):
+        assert noc_static_energy(TECH_PAPER_EXAMPLE, 4, 100.0) == pytest.approx(10.0)
+
+    def test_zero_execution_time(self):
+        assert noc_static_energy(TECH_PAPER_EXAMPLE, 4, 0.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            noc_static_power(TECH_PAPER_EXAMPLE, 0)
+        with pytest.raises(ConfigurationError):
+            noc_static_energy(TECH_PAPER_EXAMPLE, 4, -1.0)
+
+
+class TestDynamicEnergy:
+    def test_communication_energy(self):
+        assert communication_dynamic_energy(10, 3, TECH_PAPER_EXAMPLE) == pytest.approx(
+            50.0
+        )
+
+    def test_cwm_matches_paper_value(self, example_cdcg, example_platform, example_mappings):
+        cwg = cdcg_to_cwg(example_cdcg)
+        energy = cwm_dynamic_energy(cwg, example_mappings["c"], example_platform)
+        assert energy == pytest.approx(390.0)
+
+    def test_cwm_accepts_plain_dict(self, example_cdcg, example_platform, example_mappings):
+        cwg = cdcg_to_cwg(example_cdcg)
+        as_dict = example_mappings["c"].assignments()
+        assert cwm_dynamic_energy(cwg, as_dict, example_platform) == pytest.approx(390.0)
+
+    def test_cwm_missing_core(self, example_cdcg, example_platform):
+        cwg = cdcg_to_cwg(example_cdcg)
+        with pytest.raises(MappingError):
+            cwm_dynamic_energy(cwg, {"A": 0}, example_platform)
+
+    def test_cdcm_matches_cwm_for_same_mapping(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        schedule = CdcmScheduler(example_platform).schedule(
+            example_cdcg, example_mappings["c"]
+        )
+        cdcm = cdcm_dynamic_energy(schedule, example_platform.technology)
+        cwg = cdcg_to_cwg(example_cdcg)
+        cwm = cwm_dynamic_energy(cwg, example_mappings["c"], example_platform)
+        assert cdcm == pytest.approx(cwm)
+
+    def test_breakdown_sums_to_total(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        schedule = CdcmScheduler(example_platform).schedule(
+            example_cdcg, example_mappings["d"]
+        )
+        breakdown = dynamic_energy_breakdown(schedule, example_platform.technology)
+        assert sum(breakdown.values()) == pytest.approx(
+            cdcm_dynamic_energy(schedule, example_platform.technology)
+        )
+
+
+class TestTotals:
+    def test_breakdown_properties(self):
+        breakdown = EnergyBreakdown(
+            dynamic=80.0, static=20.0, execution_time=50.0, technology_name="x"
+        )
+        assert breakdown.total == pytest.approx(100.0)
+        assert breakdown.static_fraction == pytest.approx(0.2)
+        assert "x" in breakdown.describe()
+
+    def test_zero_total_fraction(self):
+        breakdown = EnergyBreakdown(0.0, 0.0, None, "x")
+        assert breakdown.static_fraction == 0.0
+
+    def test_cdcm_total_equation10(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        schedule = CdcmScheduler(example_platform).schedule(
+            example_cdcg, example_mappings["c"]
+        )
+        breakdown = total_energy_cdcm(schedule, example_platform)
+        assert breakdown.total == pytest.approx(400.0)
+        assert breakdown.execution_time == pytest.approx(100.0)
+
+    def test_cdcm_reprice_under_other_technology(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        schedule = CdcmScheduler(example_platform).schedule(
+            example_cdcg, example_mappings["c"]
+        )
+        repriced = total_energy_cdcm(schedule, example_platform, TECH_0_07UM)
+        assert repriced.technology_name == "0.07um"
+        assert repriced.dynamic != pytest.approx(390.0)
+
+    def test_cwm_total_has_no_static_term(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        cwg = cdcg_to_cwg(example_cdcg)
+        breakdown = total_energy_cwm(cwg, example_mappings["c"], example_platform)
+        assert breakdown.static == 0.0
+        assert breakdown.execution_time is None
+        assert breakdown.total == pytest.approx(breakdown.dynamic)

@@ -1,0 +1,83 @@
+"""Graph serialisation (repro.graphs.io)."""
+
+import json
+
+import pytest
+
+from repro.graphs.io import (
+    cdcg_from_dict,
+    cdcg_to_dict,
+    cdcg_to_dot,
+    crg_to_dot,
+    cwg_from_dict,
+    cwg_to_dict,
+    cwg_to_dot,
+    load_cdcg_json,
+    load_cwg_json,
+    save_json,
+)
+from repro.noc.topology import build_mesh_crg
+from repro.utils.errors import GraphValidationError
+
+
+class TestCwgRoundTrip:
+    def test_dict_round_trip(self, example_cwg):
+        restored = cwg_from_dict(cwg_to_dict(example_cwg))
+        assert restored == example_cwg
+
+    def test_json_file_round_trip(self, example_cwg, tmp_path):
+        path = tmp_path / "app.cwg.json"
+        save_json(example_cwg, path)
+        restored = load_cwg_json(path)
+        assert restored == example_cwg
+
+    def test_wrong_type_rejected(self, example_cdcg):
+        with pytest.raises(GraphValidationError):
+            cwg_from_dict(cdcg_to_dict(example_cdcg))
+
+    def test_dict_is_json_serialisable(self, example_cwg):
+        json.dumps(cwg_to_dict(example_cwg))
+
+
+class TestCdcgRoundTrip:
+    def test_dict_round_trip(self, example_cdcg):
+        restored = cdcg_from_dict(cdcg_to_dict(example_cdcg))
+        assert restored.num_packets == example_cdcg.num_packets
+        assert restored.num_dependences == example_cdcg.num_dependences
+        assert restored.total_bits() == example_cdcg.total_bits()
+        assert set(restored.dependences()) == set(example_cdcg.dependences())
+
+    def test_json_file_round_trip(self, example_cdcg, tmp_path):
+        path = tmp_path / "app.cdcg.json"
+        save_json(example_cdcg, path)
+        restored = load_cdcg_json(path)
+        assert restored.packet("EA1").bits == 20
+        assert restored.packet("EA1").computation_time == 10.0
+
+    def test_wrong_type_rejected(self, example_cwg):
+        with pytest.raises(GraphValidationError):
+            cdcg_from_dict(cwg_to_dict(example_cwg))
+
+
+class TestSaveJsonErrors:
+    def test_unsupported_object(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(object(), tmp_path / "x.json")
+
+
+class TestDotExport:
+    def test_cwg_dot_contains_edges(self, example_cwg):
+        dot = cwg_to_dot(example_cwg)
+        assert dot.startswith("digraph")
+        assert '"A" -> "B" [label="15"]' in dot
+
+    def test_cdcg_dot_contains_start_end(self, example_cdcg):
+        dot = cdcg_to_dot(example_cdcg)
+        assert '"Start"' in dot
+        assert '"End"' in dot
+        assert '"EA1" -> "EA2"' in dot
+
+    def test_crg_dot_contains_tiles(self):
+        dot = crg_to_dot(build_mesh_crg(2, 2))
+        assert '"tau0"' in dot
+        assert '"tau0" -> "tau1"' in dot

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipeline the way a user (or the benchmark harness)
+does: workload generation -> framework -> search -> CDCM evaluation ->
+comparison metrics, and serialisation round trips of whole applications.
+"""
+
+import pytest
+
+from repro import (
+    FRWFramework,
+    Mapping,
+    Mesh,
+    NocParameters,
+    Platform,
+    TECH_0_07UM,
+    TECH_0_35UM,
+    compare_models,
+)
+from repro.analysis.comparison import ComparisonConfig
+from repro.graphs.io import load_cdcg_json, save_json
+from repro.search.annealing import AnnealingSchedule
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.workloads.embedded import fft8, image_encoder
+from repro.workloads.paper_example import paper_example_cdcg, paper_example_platform
+from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
+
+FAST = AnnealingSchedule(cooling_factor=0.85, max_evaluations=500, stall_plateaus=6)
+
+
+class TestPaperExampleEndToEnd:
+    def test_cdcm_search_finds_a_mapping_at_least_as_good_as_figure_3d(self):
+        framework = FRWFramework(paper_example_cdcg(), paper_example_platform())
+        outcome = framework.map(model="cdcm", method="exhaustive", seed=0)
+        report = framework.evaluate(outcome.mapping)
+        assert report.total_energy <= 399.0 + 1e-9
+        assert report.execution_time <= 90.0 + 1e-9
+
+    def test_cwm_search_cannot_see_the_difference(self):
+        framework = FRWFramework(paper_example_cdcg(), paper_example_platform())
+        outcome = framework.map(model="cwm", method="exhaustive", seed=0)
+        # any CWM optimum has the example's minimal dynamic energy
+        assert outcome.cost == pytest.approx(390.0)
+
+
+class TestEmbeddedApplicationFlow:
+    def test_fft8_mapping_on_3x3(self):
+        cdcg = fft8()
+        platform = Platform(mesh=Mesh(3, 3))
+        framework = FRWFramework(cdcg, platform)
+        from repro.search.annealing import SimulatedAnnealing
+
+        outcome = framework.map(
+            model="cdcm", searcher=SimulatedAnnealing(FAST), seed=4
+        )
+        random_report = framework.evaluate(framework.initial_mapping(99))
+        searched_report = framework.evaluate(outcome.mapping)
+        assert searched_report.total_energy <= random_report.total_energy
+
+    def test_image_encoder_greedy_vs_random(self):
+        cdcg = image_encoder()
+        platform = Platform(mesh=Mesh(3, 3))
+        framework = FRWFramework(cdcg, platform)
+        greedy_cost = framework.evaluate_cwm_cost(framework.greedy_mapping())
+        random_costs = [
+            framework.evaluate_cwm_cost(framework.initial_mapping(seed))
+            for seed in range(5)
+        ]
+        assert greedy_cost <= max(random_costs)
+
+    def test_evaluation_is_consistent_across_technologies(self):
+        cdcg = fft8()
+        platform = Platform(mesh=Mesh(3, 3))
+        framework = FRWFramework(cdcg, platform)
+        mapping = framework.initial_mapping(1)
+        report_07 = framework.evaluate(mapping, TECH_0_07UM)
+        report_35 = framework.evaluate(mapping, TECH_0_35UM)
+        # timing identical, energy pricing different
+        assert report_07.execution_time == pytest.approx(report_35.execution_time)
+        assert report_07.total_energy != pytest.approx(report_35.total_energy)
+
+
+class TestGeneratedBenchmarkFlow:
+    def test_serialisation_round_trip_preserves_schedule(self, tmp_path):
+        spec = TgffSpec("roundtrip", num_cores=5, num_packets=12, total_bits=4_000)
+        cdcg = TgffLikeGenerator(3).generate(spec)
+        path = tmp_path / "bench.json"
+        save_json(cdcg, path)
+        restored = load_cdcg_json(path)
+
+        platform = Platform(mesh=Mesh(2, 3))
+        mapping = Mapping.random(cdcg.cores(), platform.num_tiles, rng=7)
+        original_report = FRWFramework(cdcg, platform).evaluate(mapping)
+        restored_report = FRWFramework(restored, platform).evaluate(mapping)
+        assert restored_report.execution_time == pytest.approx(
+            original_report.execution_time
+        )
+        assert restored_report.total_energy == pytest.approx(
+            original_report.total_energy
+        )
+
+    def test_comparison_pipeline_on_generated_benchmark(self):
+        spec = TgffSpec("pipeline", num_cores=6, num_packets=20, total_bits=8_000)
+        cdcg = TgffLikeGenerator(11).generate(spec)
+        platform = Platform(mesh=Mesh(3, 2))
+        config = ComparisonConfig(annealing_schedule=FAST)
+        comparison = compare_models(cdcg, platform, config, seed=2)
+        assert comparison.noc_label == "3 x 2"
+        assert comparison.cwm_mapping_time > 0
+        assert comparison.cdcm_mapping_time > 0
+        assert len(comparison.technology_results) == 2
+
+    def test_exhaustive_and_annealing_agree_on_tiny_benchmark(self):
+        spec = TgffSpec("tiny", num_cores=4, num_packets=8, total_bits=2_000)
+        cdcg = TgffLikeGenerator(5).generate(spec)
+        platform = Platform(mesh=Mesh(2, 2))
+        framework = FRWFramework(cdcg, platform)
+        exhaustive = framework.map(model="cdcm", method="exhaustive", seed=1)
+        annealed = framework.map(
+            model="cdcm",
+            searcher=None,
+            method="annealing",
+            seed=1,
+            schedule=AnnealingSchedule(cooling_factor=0.9, max_evaluations=2_000),
+        )
+        assert annealed.cost == pytest.approx(exhaustive.cost, rel=0.05)
+
+    def test_wide_flits_shorten_execution(self):
+        spec = TgffSpec("flits", num_cores=5, num_packets=15, total_bits=50_000)
+        cdcg = TgffLikeGenerator(9).generate(spec)
+        mapping = Mapping.random(cdcg.cores(), 6, rng=0)
+        narrow = Platform(mesh=Mesh(3, 2), parameters=NocParameters(flit_width=8))
+        wide = Platform(mesh=Mesh(3, 2), parameters=NocParameters(flit_width=64))
+        narrow_report = FRWFramework(cdcg, narrow).evaluate(mapping)
+        wide_report = FRWFramework(cdcg, wide).evaluate(mapping)
+        assert wide_report.execution_time < narrow_report.execution_time

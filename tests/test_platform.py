@@ -1,0 +1,96 @@
+"""Platform and wormhole parameters (repro.noc.platform)."""
+
+import pytest
+
+from repro.energy.technology import TECH_0_35UM, TECH_PAPER_EXAMPLE
+from repro.noc.platform import (
+    PAPER_EXAMPLE_PARAMETERS,
+    NocParameters,
+    Platform,
+    paper_example_platform,
+)
+from repro.noc.routing import YXRouting
+from repro.noc.topology import Mesh
+from repro.utils.errors import ConfigurationError
+
+
+class TestNocParameters:
+    def test_defaults(self):
+        params = NocParameters()
+        assert params.routing_cycles == 2
+        assert params.link_cycles == 1
+        assert params.flit_width == 32
+
+    def test_derived_times(self):
+        params = NocParameters(routing_cycles=3, link_cycles=2, clock_period=0.5)
+        assert params.routing_time == pytest.approx(1.5)
+        assert params.link_time == pytest.approx(1.0)
+
+    def test_flits(self):
+        assert NocParameters(flit_width=16).flits(33) == 3
+
+    def test_paper_parameters_use_one_bit_flits(self):
+        assert PAPER_EXAMPLE_PARAMETERS.flit_width == 1
+        assert PAPER_EXAMPLE_PARAMETERS.flits(40) == 40
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"routing_cycles": -1},
+            {"link_cycles": 0},
+            {"clock_period": 0.0},
+            {"flit_width": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NocParameters(**kwargs)
+
+
+class TestPlatform:
+    def test_defaults(self):
+        platform = Platform(mesh=Mesh(3, 3))
+        assert platform.num_tiles == 9
+        assert platform.routing.name == "xy"
+
+    def test_route_and_hops(self):
+        platform = Platform(mesh=Mesh(3, 3))
+        assert platform.route(0, 8) == [0, 1, 2, 5, 8]
+        assert platform.hop_count(0, 8) == 5
+        assert platform.route_links(0, 2) == [(0, 1), (1, 2)]
+
+    def test_with_helpers_return_new_platform(self):
+        platform = Platform(mesh=Mesh(2, 2))
+        retech = platform.with_technology(TECH_0_35UM)
+        rerouted = platform.with_routing(YXRouting())
+        reparam = platform.with_parameters(NocParameters(flit_width=8))
+        assert retech.technology is TECH_0_35UM
+        assert rerouted.routing.name == "yx"
+        assert reparam.parameters.flit_width == 8
+        # original untouched
+        assert platform.parameters.flit_width == 32
+
+    def test_noc_static_power(self):
+        platform = Platform(mesh=Mesh(2, 2), technology=TECH_PAPER_EXAMPLE)
+        assert platform.noc_static_power() == pytest.approx(0.1)
+
+    def test_describe_mentions_mesh_and_tech(self):
+        text = Platform(mesh=Mesh(2, 3)).describe()
+        assert "2x3 mesh" in text
+        assert "technology" in text
+
+
+class TestPaperExamplePlatform:
+    def test_shape_and_parameters(self):
+        platform = paper_example_platform()
+        assert platform.num_tiles == 4
+        assert platform.parameters.flit_width == 1
+        assert platform.technology.e_rbit == 1.0
+
+    def test_paper_static_power(self):
+        # PstNoC = 0.1 pJ/ns for the 2x2 example NoC.
+        assert paper_example_platform().noc_static_power() == pytest.approx(0.1)
+
+    def test_technology_override(self):
+        platform = paper_example_platform(TECH_0_35UM)
+        assert platform.technology is TECH_0_35UM

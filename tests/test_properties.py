@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) on the core data structures and models.
+
+Invariants exercised here:
+
+* routing — XY routes are minimal, mesh-adjacent and deterministic for any
+  mesh size and tile pair;
+* scheduling — for any generated CDCG and any valid mapping, packets are
+  delivered after injection, dependences are respected, contention only ever
+  delays packets, and no two packets overlap on a contention resource;
+* energy — dynamic energy is invariant to the model (CWM vs CDCM) and total
+  energy equation (10) decomposes exactly;
+* mapping transformations — swaps preserve injectivity;
+* graph conversion — the CWG collapse preserves total volume and the
+  per-flow volumes.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.cdcm import CdcmEvaluator
+from repro.core.cwm import CwmEvaluator
+from repro.core.mapping import Mapping
+from repro.graphs.cdcg import CDCG
+from repro.graphs.convert import cdcg_to_cwg
+from repro.noc.platform import NocParameters, Platform
+from repro.noc.resources import LinkResource
+from repro.noc.routing import XYRouting, YXRouting
+from repro.noc.scheduler import CdcmScheduler
+from repro.noc.topology import Mesh
+from repro.timing.delays import total_packet_delay
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+mesh_strategy = st.builds(
+    Mesh,
+    width=st.integers(min_value=2, max_value=5),
+    height=st.integers(min_value=2, max_value=5),
+)
+
+
+@st.composite
+def cdcg_strategy(draw, max_cores: int = 6, max_packets: int = 12):
+    """Random acyclic CDCG with dependences pointing backwards in index order."""
+    num_cores = draw(st.integers(min_value=2, max_value=max_cores))
+    cores = [f"c{i}" for i in range(num_cores)]
+    num_packets = draw(st.integers(min_value=1, max_value=max_packets))
+    cdcg = CDCG("prop")
+    for index in range(num_packets):
+        source = draw(st.sampled_from(cores))
+        target = draw(st.sampled_from([c for c in cores if c != source]))
+        bits = draw(st.integers(min_value=1, max_value=500))
+        computation = draw(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+        )
+        cdcg.add_packet(f"p{index}", source, target, computation, bits)
+        if index > 0:
+            for predecessor in draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=index - 1),
+                    max_size=2,
+                    unique=True,
+                )
+            ):
+                cdcg.add_dependence(f"p{predecessor}", f"p{index}")
+    return cdcg
+
+
+@st.composite
+def cdcg_and_platform_and_mapping(draw):
+    cdcg = draw(cdcg_strategy())
+    cores = cdcg.cores()
+    width = draw(st.integers(min_value=2, max_value=4))
+    height = draw(st.integers(min_value=2, max_value=4))
+    mesh = Mesh(width, height)
+    if mesh.num_tiles < len(cores):
+        mesh = Mesh(3, max(3, (len(cores) + 2) // 3))
+    platform = Platform(
+        mesh=mesh,
+        parameters=NocParameters(
+            flit_width=draw(st.sampled_from([1, 8, 32])),
+        ),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    mapping = Mapping.random(cores, platform.num_tiles, rng=seed)
+    return cdcg, platform, mapping
+
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Routing properties
+# ---------------------------------------------------------------------------
+
+
+class TestRoutingProperties:
+    @given(mesh=mesh_strategy, data=st.data())
+    @SETTINGS
+    def test_xy_routes_are_minimal_and_adjacent(self, mesh, data):
+        source = data.draw(st.integers(min_value=0, max_value=mesh.num_tiles - 1))
+        target = data.draw(st.integers(min_value=0, max_value=mesh.num_tiles - 1))
+        path = XYRouting().route(mesh, source, target)
+        assert path[0] == source and path[-1] == target
+        assert len(path) == mesh.manhattan_distance(source, target) + 1
+        for a, b in zip(path, path[1:]):
+            assert b in mesh.neighbours(a)
+        assert len(set(path)) == len(path)  # no revisits
+
+    @given(mesh=mesh_strategy, data=st.data())
+    @SETTINGS
+    def test_xy_and_yx_have_equal_length(self, mesh, data):
+        source = data.draw(st.integers(min_value=0, max_value=mesh.num_tiles - 1))
+        target = data.draw(st.integers(min_value=0, max_value=mesh.num_tiles - 1))
+        assert len(XYRouting().route(mesh, source, target)) == len(
+            YXRouting().route(mesh, source, target)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scheduling properties
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulingProperties:
+    @given(case=cdcg_and_platform_and_mapping())
+    @SETTINGS
+    def test_schedule_invariants(self, case):
+        cdcg, platform, mapping = case
+        result = CdcmScheduler(platform).schedule(cdcg, mapping)
+
+        assert result.execution_time >= cdcg.critical_path_time() - 1e-9
+        for name, schedule in result.packet_schedules.items():
+            packet = cdcg.packet(name)
+            # injection after readiness + computation, delivery after injection
+            assert schedule.injection_time == pytest.approx(
+                schedule.ready_time + packet.computation_time
+            )
+            zero_load = total_packet_delay(
+                platform.parameters, schedule.hop_count, schedule.num_flits
+            )
+            assert schedule.delivery_time == pytest.approx(
+                schedule.injection_time + zero_load + schedule.contention_delay
+            )
+            assert schedule.contention_delay >= 0.0
+            # dependences respected
+            for predecessor in cdcg.predecessors(name):
+                assert (
+                    result.packet_schedules[predecessor].delivery_time
+                    <= schedule.ready_time + 1e-9
+                )
+
+    @given(case=cdcg_and_platform_and_mapping())
+    @SETTINGS
+    def test_no_overlap_on_contention_resources(self, case):
+        cdcg, platform, mapping = case
+        result = CdcmScheduler(platform).schedule(cdcg, mapping)
+        for resource, occupations in result.occupations.items():
+            if not isinstance(resource, LinkResource):
+                continue
+            ordered = sorted(occupations, key=lambda o: o.start)
+            for first, second in zip(ordered, ordered[1:]):
+                assert first.end <= second.start + 1e-9
+
+    @given(case=cdcg_and_platform_and_mapping())
+    @SETTINGS
+    def test_execution_time_bounded_by_serial_sum(self, case):
+        cdcg, platform, mapping = case
+        result = CdcmScheduler(platform).schedule(cdcg, mapping)
+        serial_bound = sum(
+            p.computation_time
+            + total_packet_delay(
+                platform.parameters,
+                platform.hop_count(mapping.tile_of(p.source), mapping.tile_of(p.target)),
+                platform.parameters.flits(p.bits),
+            )
+            for p in cdcg.packets
+        )
+        assert result.execution_time <= serial_bound + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Energy properties
+# ---------------------------------------------------------------------------
+
+
+class TestEnergyProperties:
+    @given(case=cdcg_and_platform_and_mapping())
+    @SETTINGS
+    def test_cwm_and_cdcm_dynamic_energy_agree(self, case):
+        cdcg, platform, mapping = case
+        cwm = CwmEvaluator(platform).cost(cdcg_to_cwg(cdcg), mapping)
+        report = CdcmEvaluator(platform).evaluate(cdcg, mapping)
+        assert report.dynamic_energy == pytest.approx(cwm, rel=1e-9)
+
+    @given(case=cdcg_and_platform_and_mapping())
+    @SETTINGS
+    def test_total_energy_decomposition(self, case):
+        cdcg, platform, mapping = case
+        report = CdcmEvaluator(platform).evaluate(cdcg, mapping)
+        assert report.total_energy == pytest.approx(
+            report.dynamic_energy + report.static_energy
+        )
+        assert report.static_energy == pytest.approx(
+            platform.noc_static_power() * report.execution_time
+        )
+
+
+# ---------------------------------------------------------------------------
+# Mapping and conversion properties
+# ---------------------------------------------------------------------------
+
+
+class TestMappingProperties:
+    @given(
+        num_cores=st.integers(min_value=1, max_value=10),
+        num_tiles=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        swaps=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=8),
+    )
+    @SETTINGS
+    def test_random_mapping_and_swaps_stay_injective(
+        self, num_cores, num_tiles, seed, swaps
+    ):
+        if num_cores > num_tiles:
+            num_cores = num_tiles
+        cores = [f"c{i}" for i in range(num_cores)]
+        mapping = Mapping.random(cores, num_tiles, rng=seed)
+        for tile_a, tile_b in swaps:
+            if tile_a < num_tiles and tile_b < num_tiles and tile_a != tile_b:
+                mapping = mapping.swap_tiles(tile_a, tile_b)
+        tiles = list(mapping.assignments().values())
+        assert len(set(tiles)) == len(tiles)
+        assert set(mapping.cores) == set(cores)
+
+
+class TestConversionProperties:
+    @given(cdcg=cdcg_strategy())
+    @SETTINGS
+    def test_collapse_preserves_volume(self, cdcg):
+        cwg = cdcg_to_cwg(cdcg)
+        assert cwg.total_bits() == cdcg.total_bits()
+        for source, target in cdcg.flows():
+            expected = sum(p.bits for p in cdcg.packets_between(source, target))
+            assert cwg.weight(source, target) == expected

@@ -1,0 +1,52 @@
+"""NoC resource identifiers and occupations (repro.noc.resources)."""
+
+import pytest
+
+from repro.noc.resources import (
+    LinkResource,
+    LocalLinkResource,
+    Occupation,
+    RouterResource,
+)
+
+
+class TestResourceIdentifiers:
+    def test_router_equality_and_hash(self):
+        assert RouterResource(2) == RouterResource(2)
+        assert RouterResource(2) != RouterResource(3)
+        assert len({RouterResource(2), RouterResource(2), RouterResource(3)}) == 2
+
+    def test_link_directionality(self):
+        assert LinkResource(0, 1) != LinkResource(1, 0)
+
+    def test_local_vs_router_not_equal(self):
+        assert LocalLinkResource(1) != RouterResource(1)
+
+    def test_str_forms(self):
+        assert str(RouterResource(4)) == "router(tau4)"
+        assert str(LinkResource(0, 2)) == "link(tau0->tau2)"
+        assert str(LocalLinkResource(3)) == "local(tau3)"
+
+
+class TestOccupation:
+    def test_interval_and_duration(self):
+        occupation = Occupation("p", 15, 10.0, 26.0)
+        assert occupation.interval == (10.0, 26.0)
+        assert occupation.duration == pytest.approx(16.0)
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ValueError):
+            Occupation("p", 15, 26.0, 10.0)
+
+    def test_overlap_detection(self):
+        a = Occupation("a", 1, 0.0, 10.0)
+        b = Occupation("b", 1, 5.0, 15.0)
+        c = Occupation("c", 1, 10.0, 20.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # touching intervals do not overlap
+
+    def test_str_matches_figure3_notation(self):
+        plain = Occupation("A->B", 15, 10, 26)
+        contended = Occupation("A->F", 15, 46, 69, contended=True)
+        assert str(plain) == "15(A->B):[10,26]"
+        assert str(contended) == "*15(A->F):[46,69]"

@@ -1,0 +1,80 @@
+"""Deterministic RNG helpers (repro.utils.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import coin_flip, derive_rng, ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_existing_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds_a = spawn_seeds(3, 10)
+        seeds_b = spawn_seeds(3, 10)
+        assert len(seeds_a) == 10
+        assert seeds_a == seeds_b
+
+    def test_zero_count(self):
+        assert spawn_seeds(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(3, -1)
+
+    def test_seeds_are_distinct_in_practice(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+
+class TestDeriveRng:
+    def test_same_stream_same_sequence(self):
+        a = derive_rng(5, 2).integers(0, 1000, size=4)
+        b = derive_rng(5, 2).integers(0, 1000, size=4)
+        assert list(a) == list(b)
+
+    def test_different_streams_differ(self):
+        a = derive_rng(5, 0).integers(0, 10**9)
+        b = derive_rng(5, 1).integers(0, 10**9)
+        assert a != b
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(5, -1)
+
+
+class TestCoinFlip:
+    def test_probability_zero_and_one(self):
+        rng = ensure_rng(0)
+        assert coin_flip(rng, 0.0) is False
+        assert coin_flip(rng, 1.0) is True
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            coin_flip(ensure_rng(0), 1.5)
+
+    def test_rough_frequency(self):
+        rng = ensure_rng(123)
+        hits = sum(coin_flip(rng, 0.25) for _ in range(2000))
+        assert 350 < hits < 650

@@ -1,0 +1,102 @@
+"""Deterministic routing (repro.noc.routing)."""
+
+import pytest
+
+from repro.noc.routing import XYRouting, YXRouting, get_routing
+from repro.noc.topology import Mesh, Torus
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def mesh() -> Mesh:
+    return Mesh(4, 4)
+
+
+class TestXYRouting:
+    def test_same_tile(self, mesh):
+        assert XYRouting().route(mesh, 5, 5) == [5]
+
+    def test_horizontal_route(self, mesh):
+        assert XYRouting().route(mesh, 0, 3) == [0, 1, 2, 3]
+
+    def test_vertical_route(self, mesh):
+        assert XYRouting().route(mesh, 0, 12) == [0, 4, 8, 12]
+
+    def test_x_before_y(self, mesh):
+        # from (0,0) to (2,2): go east twice, then south twice
+        assert XYRouting().route(mesh, 0, 10) == [0, 1, 2, 6, 10]
+
+    def test_negative_directions(self, mesh):
+        assert XYRouting().route(mesh, 10, 0) == [10, 9, 8, 4, 0]
+
+    def test_hop_count_matches_manhattan(self, mesh):
+        routing = XYRouting()
+        for source in mesh.tiles():
+            for target in mesh.tiles():
+                assert (
+                    routing.hop_count(mesh, source, target)
+                    == mesh.manhattan_distance(source, target) + 1
+                )
+
+    def test_links(self, mesh):
+        assert XYRouting().links(mesh, 0, 5) == [(0, 1), (1, 5)]
+
+    def test_route_is_mesh_adjacent(self, mesh):
+        path = XYRouting().route(mesh, 3, 12)
+        for a, b in zip(path, path[1:]):
+            assert b in mesh.neighbours(a)
+
+    def test_paper_example_route(self):
+        # 2x2 mesh: from tau2 (A) to tau3 (F) in paper numbering, i.e. from
+        # tile 1 to tile 2: XY goes through tile 0 (tau1), where the paper's
+        # contention occurs.
+        assert XYRouting().route(Mesh(2, 2), 1, 2) == [1, 0, 2]
+
+    def test_endpoint_validation(self, mesh):
+        with pytest.raises(ConfigurationError):
+            XYRouting().route(mesh, 0, 99)
+        with pytest.raises(ConfigurationError):
+            XYRouting().route(mesh, -1, 0)
+
+
+class TestYXRouting:
+    def test_y_before_x(self, mesh):
+        # from (0,0) to (2,2): go south twice, then east twice
+        assert YXRouting().route(mesh, 0, 10) == [0, 4, 8, 9, 10]
+
+    def test_same_endpoints_as_xy(self, mesh):
+        xy, yx = XYRouting(), YXRouting()
+        for source, target in [(0, 15), (3, 12), (7, 8)]:
+            assert xy.route(mesh, source, target)[0] == yx.route(mesh, source, target)[0]
+            assert xy.route(mesh, source, target)[-1] == yx.route(mesh, source, target)[-1]
+            assert len(xy.route(mesh, source, target)) == len(
+                yx.route(mesh, source, target)
+            )
+
+
+class TestTorusRouting:
+    def test_wraparound_is_shorter(self):
+        torus = Torus(4, 4)
+        path = XYRouting().route(torus, 0, 3)
+        # wrap west: 0 -> 3 directly
+        assert path == [0, 3]
+
+    def test_hop_count_matches_torus_distance(self):
+        torus = Torus(4, 3)
+        routing = XYRouting()
+        for source in torus.tiles():
+            for target in torus.tiles():
+                assert (
+                    routing.hop_count(torus, source, target)
+                    == torus.manhattan_distance(source, target) + 1
+                )
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_routing("xy"), XYRouting)
+        assert isinstance(get_routing("YX"), YXRouting)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_routing("adaptive")

@@ -1,0 +1,112 @@
+"""Wormhole delay equations and timing diagrams (repro.timing)."""
+
+import pytest
+
+from repro.core.cdcm import CdcmEvaluator
+from repro.noc.platform import PAPER_EXAMPLE_PARAMETERS, NocParameters
+from repro.timing.delays import (
+    packet_delay,
+    routing_delay,
+    total_packet_delay,
+    zero_load_delay,
+)
+from repro.timing.gantt import (
+    build_timelines,
+    render_ascii_gantt,
+    summarize_timelines,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestDelayEquations:
+    def test_routing_delay_equation6(self):
+        # Paper example: K = 2, tr = 2, tl = 1, lambda = 1 ns -> 7 ns.
+        assert routing_delay(PAPER_EXAMPLE_PARAMETERS, 2) == pytest.approx(7.0)
+
+    def test_packet_delay_equation7(self):
+        # 15 one-bit flits -> 14 ns of body delay.
+        assert packet_delay(PAPER_EXAMPLE_PARAMETERS, 15) == pytest.approx(14.0)
+
+    def test_total_delay_equation8(self):
+        # K = 2, n = 15 -> 2*(2+1) + 15 = 21 ns.
+        assert total_packet_delay(PAPER_EXAMPLE_PARAMETERS, 2, 15) == pytest.approx(21.0)
+
+    def test_total_is_routing_plus_packet(self):
+        params = NocParameters(routing_cycles=3, link_cycles=2, clock_period=0.5)
+        for hops in (1, 2, 5):
+            for flits in (1, 4, 9):
+                assert total_packet_delay(params, hops, flits) == pytest.approx(
+                    routing_delay(params, hops) + packet_delay(params, flits)
+                )
+
+    def test_zero_load_delay_uses_flit_width(self):
+        params = NocParameters(flit_width=16)
+        assert zero_load_delay(params, 2, 33) == total_packet_delay(params, 2, 3)
+
+    def test_clock_period_scales_delays(self):
+        slow = NocParameters(clock_period=2.0)
+        fast = NocParameters(clock_period=1.0)
+        assert routing_delay(slow, 3) == pytest.approx(2 * routing_delay(fast, 3))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            routing_delay(PAPER_EXAMPLE_PARAMETERS, 0)
+        with pytest.raises(ConfigurationError):
+            packet_delay(PAPER_EXAMPLE_PARAMETERS, 0)
+        with pytest.raises(ConfigurationError):
+            total_packet_delay(PAPER_EXAMPLE_PARAMETERS, 1, 0)
+
+
+class TestTimelines:
+    @pytest.fixture
+    def report_c(self, example_cdcg, example_platform, example_mappings):
+        return CdcmEvaluator(example_platform).evaluate(
+            example_cdcg, example_mappings["c"]
+        )
+
+    def test_timeline_reconstructs_delivery_times(self, report_c, example_platform):
+        timelines = build_timelines(report_c.schedule, example_platform.parameters)
+        by_name = {t.packet: t for t in timelines}
+        for name, schedule in report_c.schedule.packet_schedules.items():
+            assert by_name[name].end == pytest.approx(schedule.delivery_time)
+            assert by_name[name].start == pytest.approx(schedule.ready_time)
+
+    def test_contention_segment_only_on_contended_packet(
+        self, report_c, example_platform
+    ):
+        timelines = build_timelines(report_c.schedule, example_platform.parameters)
+        contention = {t.packet: t.duration_of("contention") for t in timelines}
+        assert contention["AF1"] == pytest.approx(7.0)
+        assert all(value == 0.0 for name, value in contention.items() if name != "AF1")
+
+    def test_segment_kinds_and_order(self, report_c, example_platform):
+        timelines = build_timelines(report_c.schedule, example_platform.parameters)
+        for timeline in timelines:
+            kinds = [segment.kind for segment in timeline.segments]
+            assert kinds[0] in ("computation", "routing")
+            assert kinds[-1] == "packet"
+            # segments are contiguous
+            for first, second in zip(timeline.segments, timeline.segments[1:]):
+                assert second.start == pytest.approx(first.end)
+
+    def test_ascii_rendering_contains_labels_and_legend(
+        self, report_c, example_platform
+    ):
+        timelines = build_timelines(report_c.schedule, example_platform.parameters)
+        chart = render_ascii_gantt(timelines, width=60)
+        assert "legend" in chart
+        assert "15(A->B):6" in chart
+        assert "x" in chart  # the contention segment of AF1
+
+    def test_render_empty(self):
+        assert render_ascii_gantt([]) == "(no packets)"
+
+    def test_summary_totals(self, report_c, example_platform):
+        timelines = build_timelines(report_c.schedule, example_platform.parameters)
+        summary = summarize_timelines(timelines)
+        assert summary["makespan"] == pytest.approx(100.0)
+        assert summary["contention"] == pytest.approx(7.0)
+        assert summary["computation"] == pytest.approx(
+            sum(p.computation_time for p in report_c.schedule.packet_schedules.values()
+                for p in [p.packet])
+        )

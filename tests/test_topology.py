@@ -1,0 +1,104 @@
+"""Mesh and torus topologies (repro.noc.topology)."""
+
+import pytest
+
+from repro.noc.topology import Mesh, Torus, build_mesh_crg
+from repro.utils.errors import ConfigurationError
+
+
+class TestMeshGeometry:
+    def test_num_tiles(self):
+        assert Mesh(3, 4).num_tiles == 12
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Mesh(0, 3)
+        with pytest.raises(ConfigurationError):
+            Mesh(3, -1)
+
+    def test_index_position_round_trip(self):
+        mesh = Mesh(4, 3)
+        for index in mesh.tiles():
+            x, y = mesh.position_of(index)
+            assert mesh.index_of(x, y) == index
+
+    def test_row_major_numbering(self):
+        mesh = Mesh(3, 2)
+        assert mesh.index_of(0, 0) == 0
+        assert mesh.index_of(2, 0) == 2
+        assert mesh.index_of(0, 1) == 3
+
+    def test_out_of_range_position(self):
+        with pytest.raises(ConfigurationError):
+            Mesh(2, 2).index_of(2, 0)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ConfigurationError):
+            Mesh(2, 2).position_of(4)
+
+    def test_contains(self):
+        mesh = Mesh(2, 2)
+        assert mesh.contains(0) and mesh.contains(3)
+        assert not mesh.contains(4) and not mesh.contains(-1)
+
+    def test_str(self):
+        assert str(Mesh(3, 2)) == "3x2 mesh"
+
+
+class TestMeshNeighbours:
+    def test_corner_has_two_neighbours(self):
+        assert sorted(Mesh(3, 3).neighbours(0)) == [1, 3]
+
+    def test_centre_has_four_neighbours(self):
+        assert sorted(Mesh(3, 3).neighbours(4)) == [1, 3, 5, 7]
+
+    def test_edge_has_three_neighbours(self):
+        assert len(Mesh(3, 3).neighbours(1)) == 3
+
+    def test_manhattan_distance(self):
+        mesh = Mesh(4, 4)
+        assert mesh.manhattan_distance(0, 0) == 0
+        assert mesh.manhattan_distance(0, 15) == 6
+        assert mesh.manhattan_distance(5, 6) == 1
+
+
+class TestMeshCrg:
+    def test_tile_and_link_counts(self):
+        crg = Mesh(3, 2).to_crg()
+        assert crg.num_tiles == 6
+        # links: horizontal 2 per row x 2 rows + vertical 3, times 2 directions
+        assert crg.num_links == 2 * (2 * 2 + 3 * 1)
+
+    def test_crg_is_valid(self):
+        Mesh(4, 3).to_crg().validate()
+
+    def test_orientations(self):
+        crg = Mesh(2, 2).to_crg()
+        assert crg.link(0, 1).orientation == "horizontal"
+        assert crg.link(0, 2).orientation == "vertical"
+
+    def test_build_mesh_crg_wrapper(self):
+        assert build_mesh_crg(2, 3, name="custom").name == "custom"
+
+    def test_single_tile_mesh(self):
+        crg = Mesh(1, 1).to_crg()
+        assert crg.num_tiles == 1
+        assert crg.num_links == 0
+
+
+class TestTorus:
+    def test_all_tiles_have_four_neighbours(self):
+        torus = Torus(3, 3)
+        for tile in torus.tiles():
+            assert len(torus.neighbours(tile)) == 4
+
+    def test_wraparound_distance(self):
+        torus = Torus(4, 4)
+        # opposite corners are 2 hops on a 4x4 torus (1 wrap per axis)
+        assert torus.manhattan_distance(0, 15) == 2
+
+    def test_crg_valid_and_connected(self):
+        Torus(3, 3).to_crg().validate()
+
+    def test_str(self):
+        assert str(Torus(3, 3)) == "3x3 torus"

@@ -1,0 +1,85 @@
+"""Unit-handling helpers (repro.utils.units)."""
+
+import pytest
+
+from repro.utils.units import (
+    JOULE,
+    MICROJOULE,
+    MS,
+    NANOJOULE,
+    NS,
+    PICOJOULE,
+    S,
+    US,
+    bits_to_flits,
+    format_energy,
+    format_time,
+)
+
+
+class TestConstants:
+    def test_time_constants_are_nanosecond_based(self):
+        assert NS == 1.0
+        assert US == 1e3
+        assert MS == 1e6
+        assert S == 1e9
+
+    def test_energy_constants_are_picojoule_based(self):
+        assert PICOJOULE == 1.0
+        assert NANOJOULE == 1e3
+        assert MICROJOULE == 1e6
+        assert JOULE == 1e12
+
+
+class TestFormatTime:
+    def test_nanoseconds(self):
+        assert format_time(12.345) == "12.35 ns"
+
+    def test_microseconds(self):
+        assert format_time(2_500) == "2.50 us"
+
+    def test_milliseconds(self):
+        assert format_time(3.2e6) == "3.20 ms"
+
+    def test_seconds(self):
+        assert format_time(1.5e9) == "1.50 s"
+
+    def test_precision_parameter(self):
+        assert format_time(1234.0, precision=0) == "1 us"
+
+
+class TestFormatEnergy:
+    def test_picojoules(self):
+        assert format_energy(390.0) == "390.00 pJ"
+
+    def test_nanojoules(self):
+        assert format_energy(1.5e3) == "1.50 nJ"
+
+    def test_microjoules(self):
+        assert format_energy(2e6) == "2.00 uJ"
+
+    def test_joules(self):
+        assert format_energy(3e12) == "3.00 J"
+
+
+class TestBitsToFlits:
+    def test_exact_multiple(self):
+        assert bits_to_flits(64, 32) == 2
+
+    def test_rounds_up(self):
+        assert bits_to_flits(65, 32) == 3
+
+    def test_small_packet_takes_one_flit(self):
+        assert bits_to_flits(1, 32) == 1
+
+    def test_one_bit_flits_match_bit_count(self):
+        # The paper's worked example uses one-bit flits.
+        assert bits_to_flits(40, 1) == 40
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_flits(0, 32)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            bits_to_flits(32, 0)

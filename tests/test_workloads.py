@@ -1,0 +1,194 @@
+"""Workload generators: TGFF-like benchmarks, embedded apps, the Table 1 suite."""
+
+import pytest
+
+from repro.graphs.convert import cdcg_to_cwg
+from repro.utils.errors import ConfigurationError
+from repro.workloads.embedded import (
+    embedded_applications,
+    fft8,
+    image_encoder,
+    object_recognition,
+    romberg_integration,
+)
+from repro.workloads.suite import suite_by_noc_size, suite_entry_by_name, table1_suite
+from repro.workloads.tgff import TgffLikeGenerator, TgffSpec, generate_benchmark
+
+
+class TestTgffSpecValidation:
+    def test_valid_spec(self):
+        TgffSpec("x", num_cores=4, num_packets=10, total_bits=1000)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigurationError):
+            TgffSpec("x", num_cores=1, num_packets=10, total_bits=1000)
+        with pytest.raises(ConfigurationError):
+            TgffSpec("x", num_cores=4, num_packets=0, total_bits=1000)
+        with pytest.raises(ConfigurationError):
+            TgffSpec("x", num_cores=4, num_packets=10, total_bits=5)
+        with pytest.raises(ConfigurationError):
+            TgffSpec("x", 4, 10, 1000, dependence_density=1.5)
+        with pytest.raises(ConfigurationError):
+            TgffSpec("x", 4, 10, 1000, computation_scale=-1.0)
+
+
+class TestTgffGenerator:
+    @pytest.fixture
+    def spec(self):
+        return TgffSpec("bench", num_cores=6, num_packets=40, total_bits=12_345)
+
+    def test_exact_aggregates(self, spec):
+        cdcg = TgffLikeGenerator(1).generate(spec)
+        assert cdcg.num_cores == 6
+        assert cdcg.num_packets == 40
+        assert cdcg.total_bits() == 12_345
+
+    def test_deterministic_per_seed(self, spec):
+        a = TgffLikeGenerator(7).generate(spec)
+        b = TgffLikeGenerator(7).generate(spec)
+        c = TgffLikeGenerator(8).generate(spec)
+        assert [p.bits for p in a.packets] == [p.bits for p in b.packets]
+        assert set(a.dependences()) == set(b.dependences())
+        assert [p.bits for p in a.packets] != [p.bits for p in c.packets]
+
+    def test_graph_is_acyclic_and_valid(self, spec):
+        cdcg = TgffLikeGenerator(3).generate(spec)
+        cdcg.validate()  # raises on cycles
+
+    def test_has_initial_packets(self, spec):
+        cdcg = TgffLikeGenerator(3).generate(spec)
+        assert len(cdcg.initial_packets()) >= 1
+
+    def test_all_bits_positive(self, spec):
+        cdcg = TgffLikeGenerator(5).generate(spec)
+        assert all(p.bits >= 1 for p in cdcg.packets)
+
+    def test_zero_computation_scale(self):
+        spec = TgffSpec("x", 4, 10, 500, computation_scale=0.0)
+        cdcg = generate_benchmark(spec, seed=2)
+        assert all(p.computation_time == 0.0 for p in cdcg.packets)
+
+    def test_single_packet_benchmark(self):
+        spec = TgffSpec("x", 2, 1, 100)
+        cdcg = generate_benchmark(spec, seed=0)
+        assert cdcg.num_packets == 1
+        assert cdcg.total_bits() == 100
+
+    def test_explicit_levels(self):
+        spec = TgffSpec("x", 5, 20, 1000, levels=3)
+        cdcg = generate_benchmark(spec, seed=1)
+        cdcg.validate()
+
+    def test_dataflow_structure(self):
+        # A dependent packet should be sent by the core that received one of
+        # its predecessors.
+        spec = TgffSpec("x", 6, 30, 3000)
+        cdcg = generate_benchmark(spec, seed=4)
+        for pred, succ in cdcg.dependences():
+            predecessors = cdcg.predecessors(succ)
+            sources = {cdcg.packet(p).target for p in predecessors}
+            assert cdcg.packet(succ).source in sources
+
+
+class TestEmbeddedApplications:
+    def test_romberg_structure(self):
+        cdcg = romberg_integration(levels=4)
+        cdcg.validate()
+        assert cdcg.num_cores == 6  # master + 4 workers + combiner
+        assert cdcg.num_packets == 4 + 4 + 3
+
+    def test_romberg_needs_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            romberg_integration(levels=1)
+
+    def test_fft8_structure(self):
+        cdcg = fft8()
+        cdcg.validate()
+        assert cdcg.num_cores == 8
+        assert cdcg.num_packets == 24  # 8 exchanges x 3 stages
+
+    def test_fft8_data_scale(self):
+        assert fft8(data_scale=4.0).total_bits() == 4 * fft8().total_bits()
+
+    def test_object_recognition_structure(self):
+        cdcg = object_recognition(num_features=3)
+        cdcg.validate()
+        assert cdcg.num_cores == 3 + 3 + 2  # CAM, PRE, SEG, FEAT0..2, CLS, DEC
+        assert cdcg.num_packets == 2 * (3 + 2 * 3)
+
+    def test_object_recognition_needs_extractor(self):
+        with pytest.raises(ConfigurationError):
+            object_recognition(num_features=0)
+
+    def test_image_encoder_structure(self):
+        cdcg = image_encoder(num_block_units=4)
+        cdcg.validate()
+        assert cdcg.num_cores == 4 + 4
+        assert cdcg.num_packets == 2 * (2 + 2 * 4)
+
+    def test_image_encoder_needs_unit(self):
+        with pytest.raises(ConfigurationError):
+            image_encoder(num_block_units=0)
+
+    def test_compute_scale_scales_computation(self):
+        base = object_recognition()
+        scaled = object_recognition(compute_scale=2.0)
+        assert scaled.critical_path_time() == pytest.approx(
+            2 * base.critical_path_time()
+        )
+
+    def test_eight_embedded_applications(self):
+        apps = embedded_applications()
+        assert len(apps) == 8
+        for name, cdcg in apps.items():
+            cdcg.validate()
+            assert cdcg.name == name
+
+    def test_collapse_to_cwg_works(self):
+        for cdcg in embedded_applications().values():
+            cwg = cdcg_to_cwg(cdcg)
+            assert cwg.total_bits() == cdcg.total_bits()
+
+
+class TestSuite:
+    def test_eighteen_entries(self):
+        assert len(table1_suite()) == 18
+
+    def test_eight_noc_sizes(self):
+        assert len(suite_by_noc_size()) == 8
+
+    def test_groups(self):
+        small = table1_suite(groups=("small",))
+        large = table1_suite(groups=("large",))
+        assert len(small) == 15
+        assert len(large) == 3
+
+    def test_max_tiles_filter(self):
+        subset = table1_suite(max_noc_tiles=9)
+        assert all(entry.mesh.num_tiles <= 9 for entry in subset)
+        assert len(subset) == 9  # 3x2, 2x4, 3x3 rows
+
+    def test_entry_lookup(self):
+        entry = suite_entry_by_name("3x3-b")
+        assert entry.num_cores == 9
+        assert entry.noc_label == "3 x 3"
+        with pytest.raises(ConfigurationError):
+            suite_entry_by_name("5x5-z")
+
+    @pytest.mark.parametrize("name", ["3x2-a", "2x4-b", "3x3-c", "2x5-a", "3x4-a"])
+    def test_small_entries_match_table1_aggregates(self, name):
+        entry = suite_entry_by_name(name)
+        cdcg = entry.build()
+        assert cdcg.num_cores == entry.num_cores
+        assert cdcg.num_packets == entry.num_packets
+        assert cdcg.total_bits() == entry.total_bits
+
+    def test_cores_fit_their_noc(self):
+        for entry in table1_suite():
+            assert entry.num_cores <= entry.mesh.num_tiles
+
+    def test_build_is_deterministic(self):
+        entry = suite_entry_by_name("2x4-a")
+        a = entry.build()
+        b = entry.build()
+        assert [p.bits for p in a.packets] == [p.bits for p in b.packets]
