@@ -27,10 +27,17 @@ def _evaluation_costs(entry, repeats: int = 20):
     cdcg = entry.build()
     cwg = cdcg_to_cwg(cdcg)
     platform = Platform(mesh=entry.mesh)
-    mapping = Mapping.random(cdcg.cores(), platform.num_tiles, rng=0)
-    cwm = cwm_objective(cwg, platform)
-    cdcm = cdcm_objective(cdcg, platform)
-    for _ in range(repeats):
+    # Distinct mappings with the context memo disabled: both objectives go
+    # through the repro.eval layer (shared route tables), and what is measured
+    # is the marginal cost of pricing a *new* candidate — memo hits would
+    # otherwise collapse the repeats to dictionary lookups.
+    mappings = [
+        Mapping.random(cdcg.cores(), platform.num_tiles, rng=seed)
+        for seed in range(repeats)
+    ]
+    cwm = cwm_objective(cwg, platform, cache_size=0)
+    cdcm = cdcm_objective(cdcg, platform, cache_size=0)
+    for mapping in mappings:
         cwm(mapping)
         cdcm(mapping)
     ncc = cwg.num_communications

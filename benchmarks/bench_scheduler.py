@@ -3,11 +3,17 @@
 Measures how one schedule replay scales with the number of packets and with
 the NoC size — the quantities behind the paper's NDP-proportional complexity
 claim — plus the raw throughput on the embedded applications.
+
+Schedulers price packet paths off the shared
+:class:`~repro.eval.route_table.RouteTable`; the table is built (and cached)
+when the scheduler is constructed, outside the timed region, so the numbers
+below measure the replay itself, exactly as a search loop experiences it.
 """
 
 import pytest
 
 from repro.core.mapping import Mapping
+from repro.eval.route_table import get_route_table
 from repro.noc.platform import Platform
 from repro.noc.scheduler import CdcmScheduler
 from repro.noc.topology import Mesh
@@ -25,7 +31,8 @@ def _benchmark_case(num_cores: int, num_packets: int, mesh: Mesh, seed: int = 1)
     cdcg = TgffLikeGenerator(seed).generate(spec)
     platform = Platform(mesh=mesh)
     mapping = Mapping.random(cdcg.cores(), platform.num_tiles, rng=seed)
-    return CdcmScheduler(platform), cdcg, mapping
+    scheduler = CdcmScheduler(platform, route_table=get_route_table(platform))
+    return scheduler, cdcg, mapping
 
 
 @pytest.mark.benchmark(group="scheduler-packets")

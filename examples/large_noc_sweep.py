@@ -39,10 +39,13 @@ def main() -> None:
         f"{cdcg.total_bits():,} bits\n"
     )
 
+    # use_delta=True: sweeps care about throughput, not bit-stable table rows,
+    # so let the CWM annealer price moves incrementally (see repro.eval).
     config = ComparisonConfig(
         annealing_schedule=AnnealingSchedule(
             cooling_factor=0.92, max_evaluations=5_000, stall_plateaus=10
-        )
+        ),
+        use_delta=True,
     )
 
     meshes = [Mesh(3, 4), Mesh(4, 4), Mesh(5, 4)]

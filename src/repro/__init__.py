@@ -43,6 +43,13 @@ from repro.core import (
     FRWFramework,
     MappingOutcome,
 )
+from repro.eval import (
+    RouteTable,
+    get_route_table,
+    EvaluationContext,
+    CwmEvaluationContext,
+    CdcmEvaluationContext,
+)
 from repro.search import (
     SimulatedAnnealing,
     AnnealingSchedule,
@@ -86,6 +93,11 @@ __all__ = [
     "CdcmEvaluator",
     "FRWFramework",
     "MappingOutcome",
+    "RouteTable",
+    "get_route_table",
+    "EvaluationContext",
+    "CwmEvaluationContext",
+    "CdcmEvaluationContext",
     "SimulatedAnnealing",
     "AnnealingSchedule",
     "ExhaustiveSearch",

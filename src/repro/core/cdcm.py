@@ -92,6 +92,10 @@ class CdcmEvaluator:
           (an extension for multi-objective exploration).
     include_local:
         Whether local core-router links contribute ``ECbit`` to dynamic energy.
+    route_table:
+        Optional pre-built :class:`~repro.eval.route_table.RouteTable` shared
+        with other evaluators of the same platform; forwarded to the replay
+        scheduler (which otherwise uses the process-wide shared table).
     """
 
     def __init__(
@@ -101,6 +105,7 @@ class CdcmEvaluator:
         energy_weight: float = 1.0,
         time_weight: float = 0.0,
         include_local: bool = True,
+        route_table=None,
     ) -> None:
         if metric not in _METRICS:
             raise ConfigurationError(
@@ -111,7 +116,7 @@ class CdcmEvaluator:
         self.energy_weight = energy_weight
         self.time_weight = time_weight
         self.include_local = include_local
-        self._scheduler = CdcmScheduler(platform)
+        self._scheduler = CdcmScheduler(platform, route_table=route_table)
 
     # ------------------------------------------------------------------
     # Objective function

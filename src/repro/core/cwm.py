@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Union
 
-from repro.energy.bit_energy import bit_energy_route
 from repro.energy.totals import EnergyBreakdown
+from repro.eval.route_table import RouteTable, get_route_table
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
 from repro.noc.resources import (
@@ -89,27 +89,45 @@ class CwmEvaluator:
         Whether the local core-router links contribute ``ECbit`` per bit
         (the paper neglects them; the default follows the technology — a zero
         ``e_cbit`` makes the flag irrelevant).
+    route_table:
+        Optional pre-built :class:`~repro.eval.route_table.RouteTable`; by
+        default the process-wide shared table for *platform* is used, so the
+        per-pair hop counts and bit energies are computed once per platform
+        instead of once per evaluation.
     """
 
-    def __init__(self, platform: Platform, include_local: bool = True) -> None:
+    def __init__(
+        self,
+        platform: Platform,
+        include_local: bool = True,
+        route_table: RouteTable | None = None,
+    ) -> None:
         self.platform = platform
         self.include_local = include_local
+        self.route_table = (
+            route_table
+            if route_table is not None
+            else get_route_table(platform, include_local=include_local)
+        )
 
     # ------------------------------------------------------------------
     # Objective function
     # ------------------------------------------------------------------
     def cost(self, cwg: CWG, mapping: Union[Mapping, Dict[str, int]]) -> float:
-        """``EDyNoC`` of the mapping — the value the CWM search minimises."""
+        """``EDyNoC`` of the mapping — the value the CWM search minimises.
+
+        Search hot paths use the value-identical
+        :class:`~repro.eval.context.CwmEvaluationContext` instead, which binds
+        one CWG into flat edge arrays; this method stays per-call because the
+        CWG argument is mutable and may differ between calls.
+        """
         tiles = _assignments(mapping)
-        technology = self.platform.technology
+        bit_energy = self.route_table.bit_energy
         total = 0.0
         for comm in cwg.communications():
-            hops = self.platform.hop_count(
+            total += comm.bits * bit_energy(
                 _tile(tiles, comm.source, cwg.name),
                 _tile(tiles, comm.target, cwg.name),
-            )
-            total += comm.bits * bit_energy_route(
-                technology, hops, self.include_local
             )
         return total
 
@@ -124,7 +142,7 @@ class CwmEvaluator:
         for comm in cwg.communications():
             source_tile = _tile(tiles, comm.source, cwg.name)
             target_tile = _tile(tiles, comm.target, cwg.name)
-            path = self.platform.route(source_tile, target_tile)
+            path = self.route_table.path(source_tile, target_tile)
             _accumulate(resource_bits, LocalLinkResource(source_tile), comm.bits)
             for router in path:
                 _accumulate(resource_bits, RouterResource(router), comm.bits)

@@ -22,11 +22,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.cdcm import CdcmEvaluator, CdcmReport
+from repro.core.cdcm import CdcmReport
 from repro.core.cwm import CwmEvaluator
 from repro.core.mapping import Mapping
 from repro.core.objective import CountingObjective, cdcm_objective, cwm_objective
 from repro.energy.technology import Technology
+from repro.eval.context import CdcmEvaluationContext, CwmEvaluationContext
+from repro.eval.route_table import get_route_table
 from repro.graphs.cdcg import CDCG
 from repro.graphs.convert import cdcg_to_cwg
 from repro.graphs.cwg import CWG
@@ -107,21 +109,53 @@ class FRWFramework:
         self.cdcg = cdcg
         self.cwg = cwg if cwg is not None else cdcg_to_cwg(cdcg)
         self.platform = platform
-        self._cdcm_evaluator = CdcmEvaluator(platform)
-        self._cwm_evaluator = CwmEvaluator(platform)
+        # One shared route table and one evaluation context per model: every
+        # objective handed to a search engine, and every evaluate() call,
+        # prices mappings against the same precomputed tables and memo.
+        self.route_table = get_route_table(platform)
+        self._cwm_context = CwmEvaluationContext(
+            self.cwg, platform, route_table=self.route_table
+        )
+        self._cdcm_context = CdcmEvaluationContext(
+            self.cdcg, platform, route_table=self.route_table
+        )
+        self._cdcm_evaluator = self._cdcm_context.evaluator
+        self._cwm_evaluator = CwmEvaluator(platform, route_table=self.route_table)
 
     # ------------------------------------------------------------------
     # Mapping search
     # ------------------------------------------------------------------
-    def objective(self, model: str) -> CountingObjective:
-        """The counting objective of one model, bound to this application."""
+    def evaluation_context(self, model: str):
+        """The shared :class:`~repro.eval.context.EvaluationContext` of a model."""
         if model not in _MODELS:
             raise ConfigurationError(
                 f"unknown model {model!r}; expected one of {_MODELS}"
             )
+        return self._cwm_context if model == "cwm" else self._cdcm_context
+
+    def objective(self, model: str) -> CountingObjective:
+        """The counting objective of one model, bound to this application.
+
+        Each call builds a fresh evaluation context over the framework's
+        shared route table: searches reuse the precomputed routes but start
+        with a cold memo, so ``MappingOutcome.cpu_time`` measures one search's
+        evaluation effort (the Section 5 quantity) rather than whatever
+        earlier runs happened to warm.  Use :meth:`evaluation_context` for
+        the long-lived shared contexts instead.
+        """
         if model == "cwm":
-            return cwm_objective(self.cwg, self.platform)
-        return cdcm_objective(self.cdcg, self.platform)
+            context = CwmEvaluationContext(
+                self.cwg, self.platform, route_table=self.route_table
+            )
+            return cwm_objective(self.cwg, self.platform, context=context)
+        if model == "cdcm":
+            context = CdcmEvaluationContext(
+                self.cdcg, self.platform, route_table=self.route_table
+            )
+            return cdcm_objective(self.cdcg, self.platform, context=context)
+        raise ConfigurationError(
+            f"unknown model {model!r}; expected one of {_MODELS}"
+        )
 
     def initial_mapping(self, seed: RandomSource = None) -> Mapping:
         """Random initial mapping (the paper's starting condition)."""
@@ -179,7 +213,7 @@ class FRWFramework:
             mapping=result.best_mapping,
             cost=result.best_cost,
             search=result,
-            evaluations=objective.evaluations,
+            evaluations=objective.evaluations + objective.delta_evaluations,
             cpu_time=elapsed,
         )
 
@@ -209,6 +243,14 @@ class FRWFramework:
             name: self.evaluate(mapping, technology)
             for name, mapping in mappings.items()
         }
+
+    def evaluate_batch(self, mappings, model: str = "cdcm"):
+        """Scalar costs of several mappings under one model's shared context.
+
+        Routes through :meth:`evaluation_context`, so repeated candidates hit
+        the context memo instead of being re-priced.
+        """
+        return self.evaluation_context(model).evaluate_batch(mappings)
 
 
 __all__ = ["FRWFramework", "MappingOutcome"]

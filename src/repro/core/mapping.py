@@ -28,7 +28,7 @@ class Mapping:
         checked against it and the free-tile helpers become available.
     """
 
-    __slots__ = ("_core_to_tile", "_tile_to_core", "_num_tiles")
+    __slots__ = ("_core_to_tile", "_tile_to_core", "_num_tiles", "_hash")
 
     def __init__(
         self,
@@ -64,10 +64,32 @@ class Mapping:
         self._core_to_tile = core_to_tile
         self._tile_to_core = tile_to_core
         self._num_tiles = num_tiles
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_trusted(
+        cls,
+        core_to_tile: Dict[str, int],
+        tile_to_core: Dict[int, str],
+        num_tiles: Optional[int],
+    ) -> "Mapping":
+        """Build a mapping from already-validated lookup tables.
+
+        Internal fast path for the transformation methods: a swap or move of a
+        valid mapping stays valid, so re-running the injectivity and range
+        checks of ``__init__`` on every search move would only burn the hot
+        path.  Callers must guarantee both dicts are consistent.
+        """
+        mapping = object.__new__(cls)
+        mapping._core_to_tile = core_to_tile
+        mapping._tile_to_core = tile_to_core
+        mapping._num_tiles = num_tiles
+        mapping._hash = None
+        return mapping
+
     @classmethod
     def random(
         cls,
@@ -153,10 +175,13 @@ class Mapping:
         """Exchange the tiles of two cores."""
         tile_a = self.tile_of(core_a)
         tile_b = self.tile_of(core_b)
-        assignments = self.assignments()
-        assignments[core_a] = tile_b
-        assignments[core_b] = tile_a
-        return Mapping(assignments, self._num_tiles)
+        core_to_tile = dict(self._core_to_tile)
+        core_to_tile[core_a] = tile_b
+        core_to_tile[core_b] = tile_a
+        tile_to_core = dict(self._tile_to_core)
+        tile_to_core[tile_a] = core_b
+        tile_to_core[tile_b] = core_a
+        return Mapping._from_trusted(core_to_tile, tile_to_core, self._num_tiles)
 
     def swap_tiles(self, tile_a: int, tile_b: int) -> "Mapping":
         """Exchange the contents of two tiles (either may be empty)."""
@@ -166,14 +191,19 @@ class Mapping:
                     raise MappingError(
                         f"tile {tile} outside the {self._num_tiles}-tile NoC"
                     )
-        core_a = self.core_at(tile_a)
-        core_b = self.core_at(tile_b)
-        assignments = self.assignments()
+        core_a = self._tile_to_core.get(tile_a)
+        core_b = self._tile_to_core.get(tile_b)
+        core_to_tile = dict(self._core_to_tile)
+        tile_to_core = dict(self._tile_to_core)
+        tile_to_core.pop(tile_a, None)
+        tile_to_core.pop(tile_b, None)
         if core_a is not None:
-            assignments[core_a] = tile_b
+            core_to_tile[core_a] = tile_b
+            tile_to_core[tile_b] = core_a
         if core_b is not None:
-            assignments[core_b] = tile_a
-        return Mapping(assignments, self._num_tiles)
+            core_to_tile[core_b] = tile_a
+            tile_to_core[tile_a] = core_b
+        return Mapping._from_trusted(core_to_tile, tile_to_core, self._num_tiles)
 
     def move_core(self, core: str, tile: int) -> "Mapping":
         """Move *core* to *tile*; if the tile is occupied the occupant swaps back."""
@@ -208,7 +238,11 @@ class Mapping:
         return self._core_to_tile == other._core_to_tile
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self._core_to_tile.items())))
+        # Mappings are immutable, so the hash is computed once and cached —
+        # memoised evaluation contexts hash every candidate they price.
+        if self._hash is None:
+            self._hash = hash(tuple(sorted(self._core_to_tile.items())))
+        return self._hash
 
     def __repr__(self) -> str:
         body = ", ".join(f"{core}->tau{tile}" for core, tile in self)

@@ -3,9 +3,17 @@
 Search engines (:mod:`repro.search`) explore the space of
 :class:`~repro.core.mapping.Mapping` objects and only ever see a callable
 ``mapping -> cost``.  The helpers here bind an application graph, a platform
-and a model (CWM or CDCM) into such a callable, and wrap it with evaluation
-counting so the CPU-cost comparison of Section 5 (CWM vs CDCM evaluation
-effort) can be reported.
+and a model (CWM or CDCM) into such a callable — backed by the shared
+evaluation engine of :mod:`repro.eval` (precomputed route tables, memoised
+costs, incremental swap deltas) — and wrap it with evaluation counting so the
+CPU-cost comparison of Section 5 (CWM vs CDCM evaluation effort) can be
+reported.
+
+Delta-aware engines (simulated annealing, greedy refinement) additionally
+call :meth:`CountingObjective.delta` when ``supports_delta`` is True; the
+wrapper forwards to the bound :class:`~repro.eval.context.EvaluationContext`
+and keeps a separate ``delta_evaluations`` counter so full and incremental
+pricing effort stay distinguishable in reports.
 """
 
 from __future__ import annotations
@@ -13,9 +21,14 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
-from repro.core.cdcm import CdcmEvaluator
-from repro.core.cwm import CwmEvaluator
 from repro.core.mapping import Mapping
+from repro.eval.context import (
+    CacheInfo,
+    CdcmEvaluationContext,
+    CwmEvaluationContext,
+    DEFAULT_CACHE_SIZE,
+    EvaluationContext,
+)
 from repro.graphs.cdcg import CDCG
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
@@ -31,14 +44,25 @@ class CountingObjective:
     ----------
     evaluations:
         Number of times the objective has been called.
+    delta_evaluations:
+        Number of incremental :meth:`delta` calls (0 for contexts without
+        delta support or plain callables).
     elapsed:
-        Total wall-clock seconds spent inside the wrapped function.
+        Total wall-clock seconds spent inside the wrapped function and the
+        delta evaluator.
     """
 
-    def __init__(self, function: ObjectiveFunction, name: str = "objective") -> None:
+    def __init__(
+        self,
+        function: ObjectiveFunction,
+        name: str = "objective",
+        context: Optional[EvaluationContext] = None,
+    ) -> None:
         self._function = function
+        self._context = context
         self.name = name
         self.evaluations = 0
+        self.delta_evaluations = 0
         self.elapsed = 0.0
 
     def __call__(self, mapping: Mapping) -> float:
@@ -49,9 +73,41 @@ class CountingObjective:
             self.elapsed += time.perf_counter() - start
             self.evaluations += 1
 
+    # ------------------------------------------------------------------
+    # Evaluation-engine passthrough
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> Optional[EvaluationContext]:
+        """The bound evaluation context, if any."""
+        return self._context
+
+    @property
+    def supports_delta(self) -> bool:
+        """True when :meth:`delta` returns exact incremental costs."""
+        return self._context is not None and self._context.supports_delta
+
+    def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
+        """Exact cost change of ``mapping.swap_tiles(tile_a, tile_b)``."""
+        if self._context is None:
+            raise NotImplementedError(
+                f"objective {self.name!r} has no evaluation context and cannot "
+                f"price incremental moves"
+            )
+        start = time.perf_counter()
+        try:
+            return self._context.delta(mapping, tile_a, tile_b)
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.delta_evaluations += 1
+
+    def cache_info(self) -> Optional[CacheInfo]:
+        """Memo statistics of the bound context (None for plain callables)."""
+        return self._context.cache_info() if self._context is not None else None
+
     def reset(self) -> None:
         """Zero the counters (e.g. between search runs)."""
         self.evaluations = 0
+        self.delta_evaluations = 0
         self.elapsed = 0.0
 
     def __repr__(self) -> str:
@@ -65,14 +121,20 @@ def cwm_objective(
     cwg: CWG,
     platform: Platform,
     include_local: bool = True,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    context: Optional[CwmEvaluationContext] = None,
 ) -> CountingObjective:
-    """Objective minimising CWM dynamic energy (equation 3)."""
-    evaluator = CwmEvaluator(platform, include_local=include_local)
+    """Objective minimising CWM dynamic energy (equation 3).
 
-    def cost(mapping: Mapping) -> float:
-        return evaluator.cost(cwg, mapping)
-
-    return CountingObjective(cost, name=f"cwm({cwg.name})")
+    The returned objective supports exact incremental swap deltas (see
+    :class:`~repro.eval.context.CwmEvaluationContext`).  Pass *context* to
+    share a pre-built context (and its route table / memo) across objectives.
+    """
+    if context is None:
+        context = CwmEvaluationContext(
+            cwg, platform, include_local=include_local, cache_size=cache_size
+        )
+    return CountingObjective(context.cost, name=context.name, context=context)
 
 
 def cdcm_objective(
@@ -82,20 +144,21 @@ def cdcm_objective(
     energy_weight: float = 1.0,
     time_weight: float = 0.0,
     include_local: bool = True,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    context: Optional[CdcmEvaluationContext] = None,
 ) -> CountingObjective:
     """Objective minimising CDCM total energy (equation 10) or execution time."""
-    evaluator = CdcmEvaluator(
-        platform,
-        metric=metric,
-        energy_weight=energy_weight,
-        time_weight=time_weight,
-        include_local=include_local,
-    )
-
-    def cost(mapping: Mapping) -> float:
-        return evaluator.cost(cdcg, mapping)
-
-    return CountingObjective(cost, name=f"cdcm({cdcg.name},{metric})")
+    if context is None:
+        context = CdcmEvaluationContext(
+            cdcg,
+            platform,
+            metric=metric,
+            energy_weight=energy_weight,
+            time_weight=time_weight,
+            include_local=include_local,
+            cache_size=cache_size,
+        )
+    return CountingObjective(context.cost, name=context.name, context=context)
 
 
 __all__ = [

@@ -1,0 +1,60 @@
+"""repro.eval — the shared mapping-evaluation engine.
+
+This package is the pricing hot path of the whole reproduction.  Every search
+engine (simulated annealing, exhaustive, random, genetic, greedy) explores the
+space of core-to-tile mappings and needs each candidate priced as cheaply as
+possible; the paper's CPU-time story (Section 5, "CDCM costs at most 23 % more
+CPU time than CWM") and the ROADMAP's large-NoC sweeps both live or die on
+that cost.  The engine is split into a static and a dynamic half:
+
+* :class:`~repro.eval.route_table.RouteTable` (static) — for one platform,
+  precomputes the router path, inter-router link list, hop count ``K`` and
+  per-bit route energy ``EBit_ij`` of every ``(source_tile, target_tile)``
+  pair.  Shared process-wide via
+  :func:`~repro.eval.route_table.get_route_table`, and consumed by the CWM
+  evaluator, the CDCM scheduler, the greedy constructor and the benchmarks.
+* :class:`~repro.eval.context.EvaluationContext` (dynamic) — binds an
+  application to a platform and prices mappings: ``cost(mapping)`` with an
+  LRU memo keyed by the mapping assignment, ``delta(mapping, tile_a, tile_b)``
+  (exact incremental cost of a tile swap, when the model supports it) and
+  ``evaluate_batch(mappings)``.
+
+Model-specific contexts:
+
+* :class:`~repro.eval.context.CwmEvaluationContext` — CWM cost is a sum of
+  independent per-edge terms, so a tile swap reprices only the CWG edges
+  incident to the two moved cores: ``delta`` is exact and O(degree), which is
+  what lets simulated annealing skip the full re-evaluation on every move;
+* :class:`~repro.eval.context.CdcmEvaluationContext` — CDCM cost is global
+  (contention couples all packets), so it keeps the full schedule replay but
+  still gains the route table and the memo.
+
+Search engines discover delta support through the objective's
+``supports_delta`` attribute (see :func:`repro.search.base.delta_callable`)
+and fall back to full evaluation otherwise, so custom objectives keep working
+unchanged.
+"""
+
+from repro.eval.route_table import (
+    RouteTable,
+    clear_route_table_cache,
+    get_route_table,
+)
+from repro.eval.context import (
+    DEFAULT_CACHE_SIZE,
+    CacheInfo,
+    CdcmEvaluationContext,
+    CwmEvaluationContext,
+    EvaluationContext,
+)
+
+__all__ = [
+    "RouteTable",
+    "get_route_table",
+    "clear_route_table_cache",
+    "DEFAULT_CACHE_SIZE",
+    "CacheInfo",
+    "EvaluationContext",
+    "CwmEvaluationContext",
+    "CdcmEvaluationContext",
+]

@@ -1,0 +1,355 @@
+"""Evaluation contexts — the dynamic half of the evaluation engine.
+
+An :class:`EvaluationContext` binds one application to one platform and is the
+single object every search engine prices mappings through.  It exposes three
+operations:
+
+* :meth:`EvaluationContext.cost` — the scalar objective value of a mapping,
+  memoised in an LRU keyed by the (immutable, hashable) mapping assignment so
+  revisited candidates are free;
+* :meth:`EvaluationContext.delta` — for contexts that support it, the *exact*
+  incremental cost of swapping the contents of two tiles, computed from the
+  edges incident to the moved cores only (O(degree) instead of O(edges));
+* :meth:`EvaluationContext.evaluate_batch` — bulk pricing of many candidates
+  (population-based engines, sweep drivers), sharing the same memo.
+
+Two concrete contexts mirror the paper's two models:
+
+* :class:`CwmEvaluationContext` prices mappings under the communication
+  weighted model (equation 3) straight off the precomputed
+  :class:`~repro.eval.route_table.RouteTable` bit-energy table, and supports
+  exact swap deltas — CWM cost is a sum of independent per-edge terms, so a
+  tile swap only reprices the edges incident to the two moved cores;
+* :class:`CdcmEvaluationContext` prices mappings under the communication
+  dependence and computation model.  Contention makes CDCM cost global (a
+  swap can reshuffle every packet's serialisation), so there is no exact
+  delta — the context keeps the full replay but still gains the route table
+  (paths come from the shared :class:`RouteTable`) and the memo.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
+
+from repro.core.cdcm import CdcmEvaluator, CdcmReport
+from repro.core.mapping import Mapping
+from repro.energy.technology import Technology
+from repro.eval.route_table import RouteTable, get_route_table
+from repro.graphs.cdcg import CDCG
+from repro.graphs.cwg import CWG
+from repro.noc.platform import Platform
+from repro.utils.errors import ConfigurationError, MappingError
+
+#: Default size of the per-context cost memo.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class CacheInfo(NamedTuple):
+    """Statistics of a context's cost memo (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    currsize: int
+    maxsize: int
+
+
+class EvaluationContext(ABC):
+    """Shared pricing interface for all mapping search engines.
+
+    Subclasses implement :meth:`_compute_cost`; the base class provides the
+    LRU memo, batch evaluation and the (optional) delta protocol.  Engines
+    discover delta support through the ``supports_delta`` attribute — see
+    :func:`repro.search.base.delta_callable`.
+    """
+
+    #: Human-readable identifier used in reports and benchmark tables.
+    name: str = "context"
+
+    #: Whether :meth:`delta` returns exact incremental costs.
+    supports_delta: bool = False
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be non-negative, got {cache_size}"
+            )
+        self._cache_size = cache_size
+        self._memo: "OrderedDict[Mapping, float]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+    def cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        """Scalar objective value of *mapping* (lower is better), memoised."""
+        if self._cache_size == 0 or not isinstance(mapping, Mapping):
+            self._misses += 1
+            return self._compute_cost(mapping)
+        memo = self._memo
+        value = memo.get(mapping)
+        if value is None:
+            self._misses += 1
+            value = self._compute_cost(mapping)
+            memo[mapping] = value
+            if len(memo) > self._cache_size:
+                memo.popitem(last=False)
+        else:
+            self._hits += 1
+            memo.move_to_end(mapping)
+        return value
+
+    def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
+        """Exact cost change of ``mapping.swap_tiles(tile_a, tile_b)``.
+
+        Only available when ``supports_delta`` is True; the base class always
+        raises so engines that ignore the capability flag fail loudly instead
+        of silently pricing with a wrong model.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental delta "
+            f"evaluation; check supports_delta before calling delta()"
+        )
+
+    def evaluate_batch(
+        self, mappings: Iterable[Union[Mapping, Dict[str, int]]]
+    ) -> List[float]:
+        """Price several candidates in one call (shares the memo)."""
+        return [self.cost(mapping) for mapping in mappings]
+
+    @abstractmethod
+    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        """Uncached objective value of *mapping*."""
+
+    # ------------------------------------------------------------------
+    # Memo bookkeeping
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the cost memo."""
+        return CacheInfo(self._hits, self._misses, len(self._memo), self._cache_size)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised costs and zero the statistics."""
+        self._memo.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CwmEvaluationContext(EvaluationContext):
+    """Route-table-backed CWM pricing with exact O(degree) swap deltas.
+
+    Parameters
+    ----------
+    cwg:
+        Application communication graph.
+    platform:
+        Target architecture; supplies mesh, routing and technology.
+    include_local:
+        Whether local core-router links contribute ``ECbit`` per bit.
+    route_table:
+        Optional pre-built table (must match *platform* and *include_local*);
+        by default the process-wide shared table is used.
+    cache_size:
+        Size of the cost memo (0 disables it).
+    """
+
+    supports_delta = True
+
+    def __init__(
+        self,
+        cwg: CWG,
+        platform: Platform,
+        include_local: bool = True,
+        route_table: Optional[RouteTable] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        super().__init__(cache_size)
+        self.cwg = cwg
+        self.platform = platform
+        self.include_local = include_local
+        self.route_table = (
+            route_table
+            if route_table is not None
+            else get_route_table(platform, include_local=include_local)
+        )
+        self.name = f"cwm({cwg.name})"
+        # Flat edge arrays: iterating tuples beats re-walking the CWG object
+        # graph on every evaluation, and edge indices give delta() a compact
+        # per-core incidence list.
+        self._edges: List[Tuple[str, str, int]] = [
+            (comm.source, comm.target, comm.bits) for comm in cwg.communications()
+        ]
+        incident: Dict[str, List[int]] = {}
+        for index, (source, target, _) in enumerate(self._edges):
+            incident.setdefault(source, []).append(index)
+            incident.setdefault(target, []).append(index)
+        self._incident = incident
+        self._flat_energy = self.route_table.flat_bit_energy()
+
+    # ------------------------------------------------------------------
+    def _tile_assignments(
+        self, mapping: Union[Mapping, Dict[str, int]]
+    ) -> Dict[str, int]:
+        n = self.route_table.num_tiles
+        if isinstance(mapping, Mapping):
+            tiles = mapping.assignments()
+            if mapping.num_tiles == n:
+                return tiles  # already range-checked at construction
+        else:
+            tiles = dict(mapping)
+        for core, tile in tiles.items():
+            if not 0 <= tile < n:
+                raise MappingError(
+                    f"core {core!r} mapped to tile {tile}, outside the "
+                    f"{n}-tile {self.platform.mesh}"
+                )
+        return tiles
+
+    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        # Equation 3 over snapshot edge arrays — the hot-loop twin of
+        # :meth:`repro.core.cwm.CwmEvaluator.cost`, which prices per call from
+        # the live (mutable) CWG and therefore cannot bind these arrays.  The
+        # two are kept value-identical by construction (same route table,
+        # same edge order) and pinned by tests/test_eval.py.
+        tiles = self._tile_assignments(mapping)
+        n = self.route_table.num_tiles
+        energy = self._flat_energy
+        total = 0.0
+        try:
+            if energy is not None:
+                for source, target, bits in self._edges:
+                    total += bits * energy[tiles[source] * n + tiles[target]]
+            else:
+                bit_energy = self.route_table.bit_energy
+                for source, target, bits in self._edges:
+                    total += bits * bit_energy(tiles[source], tiles[target])
+        except KeyError as exc:
+            raise MappingError(
+                f"mapping does not place core {exc.args[0]!r} of application "
+                f"{self.cwg.name!r}"
+            ) from exc
+        return total
+
+    def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
+        """Exact CWM cost change of swapping the contents of two tiles.
+
+        Only the CWG edges incident to the cores on ``tile_a``/``tile_b`` can
+        change price, so the swap is priced in O(degree) — the enabler of the
+        fast annealing path.  Either tile may be empty; swapping two empty
+        tiles (or a tile with itself) costs exactly 0.
+        """
+        if not isinstance(mapping, Mapping):
+            mapping = Mapping(mapping)
+        n = self.route_table.num_tiles
+        for tile in (tile_a, tile_b):
+            if not 0 <= tile < n:
+                raise MappingError(
+                    f"tile {tile} outside the {n}-tile {self.platform.mesh}"
+                )
+        if tile_a == tile_b:
+            return 0.0
+        core_a = mapping.core_at(tile_a)
+        core_b = mapping.core_at(tile_b)
+        if core_a is None and core_b is None:
+            return 0.0
+        moved: Dict[str, int] = {}
+        if core_a is not None:
+            moved[core_a] = tile_b
+        if core_b is not None:
+            moved[core_b] = tile_a
+
+        incident = self._incident
+        if core_a is not None:
+            edge_ids = list(incident.get(core_a, ()))
+            if core_b is not None:
+                seen = set(edge_ids)
+                edge_ids.extend(
+                    i for i in incident.get(core_b, ()) if i not in seen
+                )
+        else:
+            edge_ids = list(incident.get(core_b, ()))
+
+        edges = self._edges
+        energy = self._flat_energy
+        bit_energy = self.route_table.bit_energy
+        total = 0.0
+        for index in edge_ids:
+            source, target, bits = edges[index]
+            old_source = mapping.tile_of(source)
+            old_target = mapping.tile_of(target)
+            new_source = moved.get(source, old_source)
+            new_target = moved.get(target, old_target)
+            if new_source == old_source and new_target == old_target:
+                continue
+            if energy is not None:
+                total += bits * (
+                    energy[new_source * n + new_target]
+                    - energy[old_source * n + old_target]
+                )
+            else:
+                total += bits * (
+                    bit_energy(new_source, new_target)
+                    - bit_energy(old_source, old_target)
+                )
+        return total
+
+
+class CdcmEvaluationContext(EvaluationContext):
+    """Memoised CDCM pricing over the shared route table.
+
+    A tile swap can reshape contention globally, so CDCM keeps the full
+    schedule replay (``supports_delta`` stays False and engines fall back to
+    full evaluation); the replay itself is accelerated by the shared
+    :class:`~repro.eval.route_table.RouteTable` inside the scheduler.
+    """
+
+    supports_delta = False
+
+    def __init__(
+        self,
+        cdcg: CDCG,
+        platform: Platform,
+        metric: str = "energy",
+        energy_weight: float = 1.0,
+        time_weight: float = 0.0,
+        include_local: bool = True,
+        route_table: Optional[RouteTable] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        super().__init__(cache_size)
+        self.cdcg = cdcg
+        self.platform = platform
+        self.evaluator = CdcmEvaluator(
+            platform,
+            metric=metric,
+            energy_weight=energy_weight,
+            time_weight=time_weight,
+            include_local=include_local,
+            route_table=route_table,
+        )
+        self.name = f"cdcm({cdcg.name},{metric})"
+
+    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        return self.evaluator.cost(self.cdcg, mapping)
+
+    def evaluate(
+        self,
+        mapping: Union[Mapping, Dict[str, int]],
+        technology: Optional[Technology] = None,
+    ) -> CdcmReport:
+        """Full CDCM report of a mapping (uncached — reports carry schedules)."""
+        return self.evaluator.evaluate(self.cdcg, mapping, technology)
+
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "CacheInfo",
+    "EvaluationContext",
+    "CwmEvaluationContext",
+    "CdcmEvaluationContext",
+]

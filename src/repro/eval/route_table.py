@@ -1,0 +1,236 @@
+"""Precomputed route tables — the static half of the evaluation engine.
+
+Pricing a candidate mapping only ever asks four questions about a pair of
+tiles: *which routers does a packet traverse* (the path), *which inter-router
+links does it cross*, *how many hops is that* (``K`` of equation 2), and *how
+much dynamic energy does one bit pay along the way* (``EBit_ij``).  For a
+deterministic routing function over a fixed platform, every one of those
+answers is a pure function of the ``(source_tile, target_tile)`` pair — yet
+the seed code re-derived the XY route edge-by-edge on every objective
+evaluation, every scheduler replay and every greedy placement probe.
+
+:class:`RouteTable` computes all four answers once per platform and serves
+them as O(1) lookups.  Tables are small (``n**2`` entries for an ``n``-tile
+NoC; 4 096 entries for an 8x8 mesh) and are shared process-wide through
+:func:`get_route_table`, keyed by the platform's mesh, routing algorithm
+class, technology and local-link flag — so the CWM evaluator, the CDCM
+scheduler, the greedy constructor and the benchmarks all price mappings
+against the same precomputed tables.
+
+For very large NoCs (more than ``_EAGER_PAIR_LIMIT`` pairs) the table turns
+into a lazy per-pair memo instead of an eager precomputation, so sweeps over
+huge meshes never pay an O(n**2) warm-up for pairs they might not touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.energy.bit_energy import bit_energy_route
+from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - imports only used by type checkers
+    from repro.energy.technology import Technology
+    from repro.noc.platform import Platform
+    from repro.noc.routing import RoutingAlgorithm
+    from repro.noc.topology import Mesh
+
+#: Above this many (source, target) pairs the table fills lazily on demand.
+_EAGER_PAIR_LIMIT = 1 << 16
+
+
+class RouteTable:
+    """Per-platform lookup tables for route paths, links, hops and bit energy.
+
+    Parameters
+    ----------
+    mesh:
+        Topology the routes are computed over (mesh or torus).
+    routing:
+        Deterministic routing algorithm; must be stateless, as all routing
+        algorithms in :mod:`repro.noc.routing` are.
+    technology:
+        Supplies the per-bit energies used to precompute ``EBit_ij``.
+    include_local:
+        Whether the two local core-router links contribute ``2 x ECbit`` to
+        the per-bit route energy (mirrors the evaluator flag).
+    precompute:
+        Force eager (True) or lazy (False) table construction; by default the
+        table is eager up to ``_EAGER_PAIR_LIMIT`` pairs.
+    """
+
+    __slots__ = (
+        "mesh",
+        "routing",
+        "technology",
+        "include_local",
+        "num_tiles",
+        "_eager",
+        "_paths",
+        "_links",
+        "_hops",
+        "_energy",
+    )
+
+    def __init__(
+        self,
+        mesh: "Mesh",
+        routing: "RoutingAlgorithm",
+        technology: "Technology",
+        include_local: bool = True,
+        precompute: Optional[bool] = None,
+    ) -> None:
+        self.mesh = mesh
+        self.routing = routing
+        self.technology = technology
+        self.include_local = include_local
+        self.num_tiles = mesh.num_tiles
+        pairs = self.num_tiles * self.num_tiles
+        self._eager = pairs <= _EAGER_PAIR_LIMIT if precompute is None else precompute
+        if self._eager:
+            paths: List[Tuple[int, ...]] = []
+            links: List[Tuple[Tuple[int, int], ...]] = []
+            hops: List[int] = []
+            energy: List[float] = []
+            for source in range(self.num_tiles):
+                for target in range(self.num_tiles):
+                    path = tuple(routing.route(mesh, source, target))
+                    paths.append(path)
+                    links.append(tuple(zip(path, path[1:])))
+                    hops.append(len(path))
+                    energy.append(
+                        bit_energy_route(technology, len(path), include_local)
+                    )
+            self._paths = paths
+            self._links = links
+            self._hops = hops
+            self._energy = energy
+        else:
+            self._paths: Dict[int, Tuple[int, ...]] = {}
+            self._links: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+            self._hops: Dict[int, int] = {}
+            self._energy: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_platform(
+        cls,
+        platform: "Platform",
+        include_local: bool = True,
+        precompute: Optional[bool] = None,
+    ) -> "RouteTable":
+        """Table for a :class:`~repro.noc.platform.Platform` (uncached)."""
+        return cls(
+            platform.mesh,
+            platform.routing,
+            platform.technology,
+            include_local=include_local,
+            precompute=precompute,
+        )
+
+    @property
+    def is_precomputed(self) -> bool:
+        """True when every pair was materialised eagerly at construction."""
+        return self._eager
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _index(self, source: int, target: int) -> int:
+        n = self.num_tiles
+        if not (0 <= source < n and 0 <= target < n):
+            raise ConfigurationError(
+                f"tile pair ({source}, {target}) outside the {n}-tile {self.mesh}"
+            )
+        return source * n + target
+
+    def _materialise(self, index: int, source: int, target: int) -> None:
+        path = tuple(self.routing.route(self.mesh, source, target))
+        self._paths[index] = path
+        self._links[index] = tuple(zip(path, path[1:]))
+        self._hops[index] = len(path)
+        self._energy[index] = bit_energy_route(
+            self.technology, len(path), self.include_local
+        )
+
+    def path(self, source: int, target: int) -> Tuple[int, ...]:
+        """Router (tile) indices traversed, both endpoints included."""
+        index = self._index(source, target)
+        if not self._eager and index not in self._paths:
+            self._materialise(index, source, target)
+        return self._paths[index]
+
+    def links(self, source: int, target: int) -> Tuple[Tuple[int, int], ...]:
+        """Inter-router links of the route, as ``(from, to)`` tile pairs."""
+        index = self._index(source, target)
+        if not self._eager and index not in self._links:
+            self._materialise(index, source, target)
+        return self._links[index]
+
+    def hop_count(self, source: int, target: int) -> int:
+        """``K`` — number of routers traversed."""
+        index = self._index(source, target)
+        if not self._eager and index not in self._hops:
+            self._materialise(index, source, target)
+        return self._hops[index]
+
+    def bit_energy(self, source: int, target: int) -> float:
+        """``EBit_ij`` of equation (2) for this pair, in pJ per bit."""
+        index = self._index(source, target)
+        if not self._eager and index not in self._energy:
+            self._materialise(index, source, target)
+        return self._energy[index]
+
+    def flat_bit_energy(self) -> Optional[List[float]]:
+        """Row-major ``EBit`` list (``source * num_tiles + target``).
+
+        Returns ``None`` for lazy tables; hot loops that get the list can
+        index it directly and skip per-call method dispatch.
+        """
+        return self._energy if self._eager else None
+
+    def __repr__(self) -> str:
+        mode = "precomputed" if self._eager else "lazy"
+        return (
+            f"RouteTable({self.mesh}, {self.routing.name} routing, "
+            f"{self.technology.name}, {mode})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide sharing
+# ----------------------------------------------------------------------
+_TABLE_CACHE: Dict[Tuple, RouteTable] = {}
+
+#: Upper bound on distinct cached tables (sweeps over many platforms evict
+#: the oldest entries instead of growing without bound).
+_TABLE_CACHE_LIMIT = 32
+
+
+def get_route_table(platform: "Platform", include_local: bool = True) -> RouteTable:
+    """Shared :class:`RouteTable` for *platform*.
+
+    Tables are cached by ``(mesh, routing class, technology, include_local)``;
+    every evaluator, scheduler and search helper bound to the same platform
+    therefore reuses one table.  The cache assumes routing algorithms are
+    stateless (true for all of :mod:`repro.noc.routing`); a stateful custom
+    algorithm should build :meth:`RouteTable.for_platform` directly.
+    """
+    key = (platform.mesh, type(platform.routing), platform.technology, include_local)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = RouteTable.for_platform(platform, include_local=include_local)
+        while len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+        _TABLE_CACHE[key] = table
+    return table
+
+
+def clear_route_table_cache() -> None:
+    """Drop all cached tables (used by tests and long-running sweeps)."""
+    _TABLE_CACHE.clear()
+
+
+__all__ = ["RouteTable", "get_route_table", "clear_route_table_cache"]

@@ -191,10 +191,22 @@ class CdcmScheduler:
     ----------
     platform:
         Target architecture (mesh, routing, wormhole parameters, technology).
+    route_table:
+        Optional pre-built :class:`~repro.eval.route_table.RouteTable`; by
+        default the process-wide shared table for *platform* is used, so every
+        packet's path is a precomputed O(1) lookup instead of a fresh XY walk
+        per replay.
     """
 
-    def __init__(self, platform: Platform) -> None:
+    def __init__(self, platform: Platform, route_table=None) -> None:
         self.platform = platform
+        if route_table is None:
+            # Imported here rather than at module level: repro.eval builds on
+            # the noc layer, so a top-level import would be circular.
+            from repro.eval.route_table import get_route_table
+
+            route_table = get_route_table(platform)
+        self._route_table = route_table
 
     # ------------------------------------------------------------------
     # Public API
@@ -306,7 +318,7 @@ class CdcmScheduler:
         occupations: Dict[Resource, List[Occupation]],
     ) -> PacketSchedule:
         """Reserve the resources along one packet's route and time its delivery."""
-        path = self.platform.route(source_tile, target_tile)
+        path = self._route_table.path(source_tile, target_tile)
         injection = ready + packet.computation_time
         stream_time = num_flits * tl
         contention = 0.0

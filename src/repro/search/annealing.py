@@ -7,16 +7,29 @@ with a temperature-dependent probability, when it worsens it, and keep the
 best mapping ever seen.  The schedule (initial temperature, geometric cooling,
 moves per temperature, stop condition) is configurable through
 :class:`AnnealingSchedule`.
+
+When the objective advertises exact incremental pricing (CWM objectives built
+through :mod:`repro.core.objective` do — see :mod:`repro.eval`), the engine
+prices each proposed swap with ``objective.delta`` in O(degree) instead of
+re-evaluating the whole mapping, and only materialises the candidate mapping
+when the move is accepted.  Acceptance decisions depend on the move's delta
+alone, and the incumbent cost is re-synchronised against a full evaluation
+whenever a new best is recorded, so the walk follows the full-re-evaluation
+path's accepted-move trajectory up to floating-point tie-breaking (an
+incremental sum rounds differently than the difference of two full sums, so
+a cost-neutral swap can consume the RNG differently).  Pipelines that need
+bit-stable reproduction of published rows pin ``use_delta=False`` — see
+:class:`repro.analysis.comparison.ComparisonConfig`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.mapping import Mapping
-from repro.search.base import Objective, SearchResult, Searcher
+from repro.search.base import Objective, SearchResult, Searcher, delta_callable
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -98,12 +111,36 @@ FAST_SCHEDULE = AnnealingSchedule(
 
 
 class SimulatedAnnealing(Searcher):
-    """Simulated-annealing search over tile-swap moves."""
+    """Simulated-annealing search over tile-swap moves.
+
+    Parameters
+    ----------
+    schedule:
+        Cooling schedule; defaults to :class:`AnnealingSchedule`.
+    use_delta:
+        Consult ``objective.delta`` for move pricing when the objective
+        supports it (see :func:`repro.search.base.delta_callable`); disable to
+        force full re-evaluation of every candidate (the seed behaviour, kept
+        for benchmarking the evaluation engine against its baseline).
+    """
 
     name = "annealing"
 
-    def __init__(self, schedule: AnnealingSchedule | None = None) -> None:
+    #: Relative tolerance separating "may have improved the incumbent best"
+    #: from accumulated floating-point drift of incrementally tracked costs.
+    #: Erring small is safe: a spurious trigger only costs one full
+    #: re-evaluation (which re-synchronises the incumbent and then decides
+    #: exactly), while a guard wider than a true improvement would skip a
+    #: best-update the full path records.
+    _BEST_GUARD = 1e-12
+
+    def __init__(
+        self,
+        schedule: AnnealingSchedule | None = None,
+        use_delta: bool = True,
+    ) -> None:
         self.schedule = schedule or AnnealingSchedule()
+        self.use_delta = use_delta
 
     # ------------------------------------------------------------------
     def search(
@@ -123,6 +160,8 @@ class SimulatedAnnealing(Searcher):
             cost = objective(initial)
             return SearchResult(initial, cost, 1, [(1, cost)])
 
+        delta_fn = delta_callable(objective) if self.use_delta else None
+
         current = initial
         current_cost = objective(current)
         best = current
@@ -132,10 +171,13 @@ class SimulatedAnnealing(Searcher):
         history = [(evaluations, best_cost)]
 
         moves_per_temperature = schedule.moves_per_temperature or max(8, 8 * num_tiles)
-        temperature = schedule.initial_temperature or self._calibrate_temperature(
-            objective, current, current_cost, generator, num_tiles
-        )
-        evaluations += self._calibration_evaluations
+        if schedule.initial_temperature is not None:
+            temperature = schedule.initial_temperature
+        else:
+            temperature, calibration_evaluations = self._calibrate_temperature(
+                objective, current, current_cost, generator, num_tiles, delta_fn
+            )
+            evaluations += calibration_evaluations
         floor = temperature * schedule.min_temperature_ratio
 
         stalled = 0
@@ -144,19 +186,48 @@ class SimulatedAnnealing(Searcher):
             for _ in range(moves_per_temperature):
                 if evaluations >= schedule.max_evaluations:
                     break
-                candidate = self._propose(current, generator, num_tiles)
-                candidate_cost = objective(candidate)
-                evaluations += 1
-                delta = candidate_cost - current_cost
-                if delta <= 0 or generator.random() < math.exp(-delta / temperature):
-                    current = candidate
-                    current_cost = candidate_cost
-                    accepted += 1
-                    if current_cost < best_cost:
-                        best = current
-                        best_cost = current_cost
-                        history.append((evaluations, best_cost))
-                        improved_this_plateau = True
+                tile_a, tile_b = self._propose_tiles(current, generator, num_tiles)
+                if delta_fn is not None:
+                    # Incremental path: price the swap in O(degree) and only
+                    # build the candidate mapping when the move is accepted.
+                    delta = delta_fn(current, tile_a, tile_b)
+                    evaluations += 1
+                    if delta <= 0 or generator.random() < math.exp(
+                        -delta / temperature
+                    ):
+                        current = current.swap_tiles(tile_a, tile_b)
+                        current_cost += delta
+                        accepted += 1
+                        guard = self._BEST_GUARD * (abs(best_cost) + 1.0)
+                        if current_cost < best_cost - guard:
+                            # Re-synchronise against a full evaluation before
+                            # recording a new best: the incumbent cost carries
+                            # accumulated rounding, the best must not.  The
+                            # resync is bookkeeping, not a move, so it is not
+                            # charged against max_evaluations — the walk visits
+                            # exactly the mappings the full path would.
+                            current_cost = objective(current)
+                            if current_cost < best_cost:
+                                best = current
+                                best_cost = current_cost
+                                history.append((evaluations, best_cost))
+                                improved_this_plateau = True
+                else:
+                    candidate = current.swap_tiles(tile_a, tile_b)
+                    candidate_cost = objective(candidate)
+                    evaluations += 1
+                    delta = candidate_cost - current_cost
+                    if delta <= 0 or generator.random() < math.exp(
+                        -delta / temperature
+                    ):
+                        current = candidate
+                        current_cost = candidate_cost
+                        accepted += 1
+                        if current_cost < best_cost:
+                            best = current
+                            best_cost = current_cost
+                            history.append((evaluations, best_cost))
+                            improved_this_plateau = True
             stalled = 0 if improved_this_plateau else stalled + 1
             if stalled >= schedule.stall_plateaus:
                 break
@@ -173,10 +244,8 @@ class SimulatedAnnealing(Searcher):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    _calibration_evaluations = 0
-
-    def _propose(self, mapping: Mapping, rng, num_tiles: int) -> Mapping:
-        """Swap the contents of two distinct tiles (either may be empty)."""
+    def _propose_tiles(self, mapping: Mapping, rng, num_tiles: int) -> Tuple[int, int]:
+        """Pick two distinct tiles to swap (either may be empty)."""
         tile_a = int(rng.integers(num_tiles))
         tile_b = int(rng.integers(num_tiles - 1))
         if tile_b >= tile_a:
@@ -186,6 +255,11 @@ class SimulatedAnnealing(Searcher):
             used = mapping.used_tiles()
             if used:
                 tile_a = used[int(rng.integers(len(used)))]
+        return tile_a, tile_b
+
+    def _propose(self, mapping: Mapping, rng, num_tiles: int) -> Mapping:
+        """Swap the contents of two distinct tiles (either may be empty)."""
+        tile_a, tile_b = self._propose_tiles(mapping, rng, num_tiles)
         return mapping.swap_tiles(tile_a, tile_b)
 
     def _calibrate_temperature(
@@ -195,23 +269,36 @@ class SimulatedAnnealing(Searcher):
         cost: float,
         rng,
         num_tiles: int,
+        delta_fn=None,
         samples: int = 20,
         target_acceptance: float = 0.8,
-    ) -> float:
-        """Estimate an initial temperature from the cost deltas of random moves."""
+    ) -> Tuple[float, int]:
+        """Estimate an initial temperature from the cost deltas of random moves.
+
+        Returns the temperature together with the number of objective
+        evaluations spent, so the caller can charge them against the
+        evaluation budget (state is deliberately not kept on the instance:
+        engines must stay reusable and safe to share across searches).
+        """
         deltas = []
         current = mapping
         current_cost = cost
         for _ in range(samples):
-            candidate = self._propose(current, rng, num_tiles)
-            candidate_cost = objective(candidate)
-            deltas.append(abs(candidate_cost - current_cost))
-            current, current_cost = candidate, candidate_cost
-        self._calibration_evaluations = samples
+            tile_a, tile_b = self._propose_tiles(current, rng, num_tiles)
+            if delta_fn is not None:
+                move_delta = delta_fn(current, tile_a, tile_b)
+                current = current.swap_tiles(tile_a, tile_b)
+                current_cost += move_delta
+                deltas.append(abs(move_delta))
+            else:
+                candidate = current.swap_tiles(tile_a, tile_b)
+                candidate_cost = objective(candidate)
+                deltas.append(abs(candidate_cost - current_cost))
+                current, current_cost = candidate, candidate_cost
         mean_delta = sum(deltas) / len(deltas) if deltas else 1.0
         if mean_delta <= 0:
-            return max(abs(cost), 1.0) * 0.05
-        return -mean_delta / math.log(target_acceptance)
+            return max(abs(cost), 1.0) * 0.05, samples
+        return -mean_delta / math.log(target_acceptance), samples
 
 
 __all__ = ["AnnealingSchedule", "SimulatedAnnealing", "FAST_SCHEDULE"]

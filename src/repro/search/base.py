@@ -12,6 +12,28 @@ from repro.utils.rng import RandomSource
 #: Objective signature shared by all engines: lower is better.
 Objective = Callable[[Mapping], float]
 
+#: Signature of an incremental objective: exact cost change of swapping the
+#: contents of two tiles (see :mod:`repro.eval`).
+DeltaFunction = Callable[[Mapping, int, int], float]
+
+
+def delta_callable(objective: Objective) -> Optional[DeltaFunction]:
+    """Return the objective's exact swap-delta evaluator, if it has one.
+
+    Delta-aware engines (simulated annealing, greedy refinement) probe the
+    objective with this helper: objectives built by
+    :mod:`repro.core.objective` advertise incremental pricing through a
+    truthy ``supports_delta`` attribute and a ``delta(mapping, tile_a,
+    tile_b)`` method, while plain callables simply lack both and make the
+    engine fall back to full re-evaluation.  Returns ``None`` when the
+    objective cannot price moves incrementally.
+    """
+    if getattr(objective, "supports_delta", False):
+        delta = getattr(objective, "delta", None)
+        if callable(delta):
+            return delta
+    return None
+
 
 @dataclass
 class SearchResult:
@@ -59,6 +81,11 @@ class Searcher(ABC):
     initial mapping, which makes them reusable for CWM and CDCM objectives
     alike (exactly how the paper's FRW framework reuses its two search
     methods for both models).
+
+    Engines that explore by tile swaps may additionally probe the objective
+    with :func:`delta_callable` and price moves incrementally when the
+    objective supports it; the plain ``mapping -> cost`` contract remains the
+    only requirement.
     """
 
     #: Short identifier used by the registry and reports.
@@ -77,4 +104,4 @@ class Searcher(ABC):
         return f"{type(self).__name__}()"
 
 
-__all__ = ["Objective", "SearchResult", "Searcher"]
+__all__ = ["Objective", "DeltaFunction", "delta_callable", "SearchResult", "Searcher"]

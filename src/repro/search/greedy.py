@@ -13,6 +13,12 @@ agnostic); the :meth:`GreedyConstructive.search` entry point still honours the
 common :class:`~repro.search.base.Searcher` interface and uses the objective
 only to report the cost of the constructed mapping (and to fall back to the
 initial mapping if construction somehow does worse).
+
+Hop distances come from the platform's shared
+:class:`~repro.eval.route_table.RouteTable`, and when the objective supports
+exact incremental pricing (CWM objectives do — see :mod:`repro.eval`), the
+constructed mapping is additionally polished by a deterministic swap-based
+hill climb driven entirely by O(degree) deltas.
 """
 
 from __future__ import annotations
@@ -20,21 +26,49 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.mapping import Mapping
+from repro.eval.route_table import RouteTable, get_route_table
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
-from repro.search.base import Objective, SearchResult, Searcher
+from repro.search.base import Objective, SearchResult, Searcher, delta_callable
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource
 
 
 class GreedyConstructive(Searcher):
-    """Volume-driven constructive placement."""
+    """Volume-driven constructive placement with optional delta refinement.
+
+    Parameters
+    ----------
+    cwg:
+        Application communication graph (supplies the volumes).
+    platform:
+        Target architecture.
+    refine:
+        Polish the constructed mapping with a swap-based hill climb when the
+        objective supports incremental deltas (no effect otherwise).
+    max_refinement_passes:
+        Upper bound on full sweeps over all tile pairs during refinement.
+    """
 
     name = "greedy"
 
-    def __init__(self, cwg: CWG, platform: Platform) -> None:
+    def __init__(
+        self,
+        cwg: CWG,
+        platform: Platform,
+        refine: bool = True,
+        max_refinement_passes: int = 4,
+    ) -> None:
+        if max_refinement_passes < 0:
+            raise ConfigurationError(
+                f"max_refinement_passes must be non-negative, "
+                f"got {max_refinement_passes}"
+            )
         self.cwg = cwg
         self.platform = platform
+        self.refine = refine
+        self.max_refinement_passes = max_refinement_passes
+        self._route_table: RouteTable = get_route_table(platform)
 
     # ------------------------------------------------------------------
     def search(
@@ -62,12 +96,54 @@ class GreedyConstructive(Searcher):
             best, best_cost = constructed, constructed_cost
         else:
             best, best_cost = initial, initial_cost
+
+        delta_fn = delta_callable(objective) if self.refine else None
+        if delta_fn is not None and self.max_refinement_passes > 0:
+            best, best_cost, refine_evaluations = self._refine(
+                objective, delta_fn, best, best_cost
+            )
+            evaluations += refine_evaluations
+
         return SearchResult(
             best_mapping=best,
             best_cost=best_cost,
             evaluations=evaluations,
             history=[(evaluations, best_cost)],
         )
+
+    def _refine(
+        self,
+        objective: Objective,
+        delta_fn,
+        mapping: Mapping,
+        cost: float,
+    ) -> Tuple[Mapping, float, int]:
+        """First-improvement hill climb over tile swaps, priced by deltas.
+
+        Deterministic (tile pairs are scanned in index order) and cheap: each
+        probe is O(degree) and the full mapping is only re-priced once at the
+        end to strip accumulated floating-point drift.
+        """
+        num_tiles = self.platform.num_tiles
+        evaluations = 0
+        improved_any = False
+        for _ in range(self.max_refinement_passes):
+            improved = False
+            for tile_a in range(num_tiles):
+                for tile_b in range(tile_a + 1, num_tiles):
+                    delta = delta_fn(mapping, tile_a, tile_b)
+                    evaluations += 1
+                    if delta < 0:
+                        mapping = mapping.swap_tiles(tile_a, tile_b)
+                        cost += delta
+                        improved = True
+            improved_any = improved_any or improved
+            if not improved:
+                break
+        if improved_any:
+            cost = objective(mapping)  # exact re-price of the refined mapping
+            evaluations += 1
+        return mapping, cost, evaluations
 
     # ------------------------------------------------------------------
     def construct(self) -> Mapping:
@@ -93,6 +169,11 @@ class GreedyConstructive(Searcher):
                 (core_b, core_a), 0
             )
 
+        # Hop distance between two tiles, off the precomputed route table
+        # (route length minus one equals the mesh/torus hop distance for the
+        # deterministic dimension-ordered routings used here).
+        hop_count = self._route_table.hop_count
+
         placed: Dict[str, int] = {}
         free_tiles = set(range(mesh.num_tiles))
 
@@ -117,7 +198,7 @@ class GreedyConstructive(Searcher):
                 for other, other_tile in placed.items():
                     weight = traffic_between(core, other)
                     if weight:
-                        score += weight * mesh.manhattan_distance(tile, other_tile)
+                        score += weight * (hop_count(tile, other_tile) - 1)
                 if best_score is None or score < best_score:
                     best_score = score
                     best_tile = tile

@@ -6,6 +6,12 @@ short string — ``"annealing"``, ``"exhaustive"``, ``"random"``, ``"genetic"``
 heuristic is not registered here because it needs the application CWG at
 construction time; it is exposed through
 :class:`repro.search.greedy.GreedyConstructive` directly.
+
+Engine keyword arguments are forwarded verbatim, so evaluation-engine knobs
+travel through the registry too — e.g. ``get_searcher("sa", use_delta=False)``
+builds an annealer that ignores incremental pricing and re-evaluates every
+candidate in full (the pre-:mod:`repro.eval` behaviour, kept for perf
+baselines).
 """
 
 from __future__ import annotations
