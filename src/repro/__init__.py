@@ -49,6 +49,10 @@ from repro.eval import (
     EvaluationContext,
     CwmEvaluationContext,
     CdcmEvaluationContext,
+    BatchBackend,
+    SerialBackend,
+    ProcessPoolBackend,
+    warm_route_table,
 )
 from repro.search import (
     SimulatedAnnealing,
@@ -56,6 +60,7 @@ from repro.search import (
     ExhaustiveSearch,
     RandomSearch,
     GreedyConstructive,
+    GeneticParameters,
     GeneticSearch,
     get_searcher,
 )
@@ -98,11 +103,16 @@ __all__ = [
     "EvaluationContext",
     "CwmEvaluationContext",
     "CdcmEvaluationContext",
+    "BatchBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "warm_route_table",
     "SimulatedAnnealing",
     "AnnealingSchedule",
     "ExhaustiveSearch",
     "RandomSearch",
     "GreedyConstructive",
+    "GeneticParameters",
     "GeneticSearch",
     "get_searcher",
     "ComparisonConfig",

@@ -118,6 +118,11 @@ class CdcmEvaluator:
         self.include_local = include_local
         self._scheduler = CdcmScheduler(platform, route_table=route_table)
 
+    @property
+    def route_table(self):
+        """The route table the replay scheduler resolves paths from."""
+        return self._scheduler.route_table
+
     # ------------------------------------------------------------------
     # Objective function
     # ------------------------------------------------------------------

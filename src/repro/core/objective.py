@@ -10,16 +10,20 @@ CPU-cost comparison of Section 5 (CWM vs CDCM evaluation effort) can be
 reported.
 
 Delta-aware engines (simulated annealing, greedy refinement) additionally
-call :meth:`CountingObjective.delta` when ``supports_delta`` is True; the
-wrapper forwards to the bound :class:`~repro.eval.context.EvaluationContext`
-and keeps a separate ``delta_evaluations`` counter so full and incremental
-pricing effort stay distinguishable in reports.
+call :meth:`CountingObjective.delta` when ``supports_delta`` is True, and
+population-based engines (genetic, exhaustive) call
+:meth:`CountingObjective.evaluate_batch` when ``supports_batch`` is True; the
+wrapper forwards both to the bound
+:class:`~repro.eval.context.EvaluationContext` — batches optionally through a
+:class:`~repro.eval.parallel.BatchBackend` — and keeps separate
+``delta_evaluations`` counters so full, incremental and bulk pricing effort
+stay distinguishable in reports.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.core.mapping import Mapping
 from repro.eval.context import (
@@ -40,16 +44,29 @@ ObjectiveFunction = Callable[[Mapping], float]
 class CountingObjective:
     """Wrap an objective function, counting calls and accumulating CPU time.
 
+    Parameters
+    ----------
+    function:
+        The underlying ``mapping -> cost`` callable.
+    name:
+        Identifier used in reports.
+    context:
+        Optional bound :class:`~repro.eval.context.EvaluationContext`; when
+        present the wrapper advertises the context's delta and batch
+        capabilities to search engines.
+
     Attributes
     ----------
     evaluations:
-        Number of times the objective has been called.
+        Number of full evaluations charged: one per :meth:`__call__` plus one
+        per candidate priced through :meth:`evaluate_batch`.
     delta_evaluations:
         Number of incremental :meth:`delta` calls (0 for contexts without
         delta support or plain callables).
     elapsed:
-        Total wall-clock seconds spent inside the wrapped function and the
-        delta evaluator.
+        Total wall-clock seconds spent inside the wrapped function, the
+        delta evaluator and batch pricing (for pooled batches this is the
+        caller-side wall time, not the summed worker CPU time).
     """
 
     def __init__(
@@ -85,6 +102,45 @@ class CountingObjective:
     def supports_delta(self) -> bool:
         """True when :meth:`delta` returns exact incremental costs."""
         return self._context is not None and self._context.supports_delta
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when :meth:`evaluate_batch` routes through a shared context."""
+        return self._context is not None
+
+    def evaluate_batch(
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend=None,
+    ) -> List[float]:
+        """Price several candidates through the bound context in one call.
+
+        Parameters
+        ----------
+        mappings:
+            Candidates to price, in order.
+        backend:
+            Optional :class:`~repro.eval.parallel.BatchBackend` override
+            forwarded to
+            :meth:`~repro.eval.context.EvaluationContext.evaluate_batch`.
+
+        Returns
+        -------
+        list of float
+            One cost per candidate, bit-identical to per-candidate calls.
+        """
+        if self._context is None:
+            raise NotImplementedError(
+                f"objective {self.name!r} has no evaluation context and cannot "
+                f"price batches; call it per mapping instead"
+            )
+        items = list(mappings)
+        start = time.perf_counter()
+        try:
+            return self._context.evaluate_batch(items, backend=backend)
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.evaluations += len(items)
 
     def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
         """Exact cost change of ``mapping.swap_tiles(tile_a, tile_b)``."""
@@ -126,9 +182,26 @@ def cwm_objective(
 ) -> CountingObjective:
     """Objective minimising CWM dynamic energy (equation 3).
 
-    The returned objective supports exact incremental swap deltas (see
-    :class:`~repro.eval.context.CwmEvaluationContext`).  Pass *context* to
-    share a pre-built context (and its route table / memo) across objectives.
+    Parameters
+    ----------
+    cwg:
+        Application communication graph.
+    platform:
+        Target architecture.
+    include_local:
+        Whether local core-router links contribute ``ECbit`` per bit.
+    cache_size:
+        Size of the context's cost memo (0 disables it).
+    context:
+        Optional pre-built context to share (with its route table, memo and
+        batch backend) across objectives.
+
+    Returns
+    -------
+    CountingObjective
+        Supports exact incremental swap deltas (``supports_delta``) and bulk
+        pricing (``supports_batch``) — see
+        :class:`~repro.eval.context.CwmEvaluationContext`.
     """
     if context is None:
         context = CwmEvaluationContext(
@@ -147,7 +220,33 @@ def cdcm_objective(
     cache_size: int = DEFAULT_CACHE_SIZE,
     context: Optional[CdcmEvaluationContext] = None,
 ) -> CountingObjective:
-    """Objective minimising CDCM total energy (equation 10) or execution time."""
+    """Objective minimising CDCM total energy (equation 10) or execution time.
+
+    Parameters
+    ----------
+    cdcg:
+        Packet-level application model.
+    platform:
+        Target architecture.
+    metric:
+        ``"energy"`` (default), ``"time"`` or ``"weighted"`` — see
+        :class:`~repro.core.cdcm.CdcmEvaluator`.
+    energy_weight, time_weight:
+        Scalarisation weights for the ``"weighted"`` metric.
+    include_local:
+        Whether local core-router links contribute to dynamic energy.
+    cache_size:
+        Size of the context's cost memo (0 disables it).
+    context:
+        Optional pre-built context to share across objectives.
+
+    Returns
+    -------
+    CountingObjective
+        Supports bulk pricing (``supports_batch``) but not incremental deltas
+        — contention makes CDCM cost global, so ``supports_delta`` is False
+        and swap-based engines re-evaluate in full.
+    """
     if context is None:
         context = CdcmEvaluationContext(
             cdcg,

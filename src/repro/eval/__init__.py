@@ -29,16 +29,27 @@ Model-specific contexts:
   (contention couples all packets), so it keeps the full schedule replay but
   still gains the route table and the memo.
 
+A third, parallel half (:mod:`repro.eval.parallel`) makes ``evaluate_batch``
+pluggable: a :class:`~repro.eval.parallel.BatchBackend` decides where the
+uncached candidates of a batch are priced —
+:class:`~repro.eval.parallel.SerialBackend` inline,
+:class:`~repro.eval.parallel.ProcessPoolBackend` across a process pool
+(contexts pickle light; workers rebuild route tables locally).  The same pool
+shards eager route-table construction by source row
+(:func:`~repro.eval.parallel.warm_route_table`) for >16x16 NoC sweeps.
+
 Search engines discover delta support through the objective's
-``supports_delta`` attribute (see :func:`repro.search.base.delta_callable`)
-and fall back to full evaluation otherwise, so custom objectives keep working
-unchanged.
+``supports_delta`` attribute (see :func:`repro.search.base.delta_callable`),
+batch support through ``supports_batch`` (see
+:func:`repro.search.base.batch_callable`), and fall back to full evaluation
+otherwise, so custom objectives keep working unchanged.
 """
 
 from repro.eval.route_table import (
     RouteTable,
     clear_route_table_cache,
     get_route_table,
+    register_route_table,
 )
 from repro.eval.context import (
     DEFAULT_CACHE_SIZE,
@@ -47,14 +58,25 @@ from repro.eval.context import (
     CwmEvaluationContext,
     EvaluationContext,
 )
+from repro.eval.parallel import (
+    BatchBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    warm_route_table,
+)
 
 __all__ = [
     "RouteTable",
     "get_route_table",
+    "register_route_table",
     "clear_route_table_cache",
     "DEFAULT_CACHE_SIZE",
     "CacheInfo",
     "EvaluationContext",
     "CwmEvaluationContext",
     "CdcmEvaluationContext",
+    "BatchBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "warm_route_table",
 ]

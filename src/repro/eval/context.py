@@ -11,7 +11,18 @@ operations:
   incremental cost of swapping the contents of two tiles, computed from the
   edges incident to the moved cores only (O(degree) instead of O(edges));
 * :meth:`EvaluationContext.evaluate_batch` — bulk pricing of many candidates
-  (population-based engines, sweep drivers), sharing the same memo.
+  (population-based engines, sweep drivers), sharing the same memo.  Where
+  the uncached candidates of a batch are priced is pluggable: pass a
+  :class:`~repro.eval.parallel.BatchBackend` (``backend=...`` at construction
+  or per call) to fan them out over a process pool; the default prices
+  inline.
+
+Contexts are *picklable-light*: pickling keeps the application graph and the
+platform but drops the memo, the backend and the route table — the unpickling
+process rebuilds the table through the process-wide
+:func:`~repro.eval.route_table.get_route_table` cache.  This is what lets
+:class:`~repro.eval.parallel.ProcessPoolBackend` ship contexts to workers
+without serialising O(n^2) route arrays.
 
 Two concrete contexts mirror the paper's two models:
 
@@ -31,16 +42,33 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.core.cdcm import CdcmEvaluator, CdcmReport
 from repro.core.mapping import Mapping
 from repro.energy.technology import Technology
-from repro.eval.route_table import RouteTable, get_route_table
+from repro.eval.route_table import (
+    RouteTable,
+    get_route_table,
+    is_shared_route_table,
+)
 from repro.graphs.cdcg import CDCG
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
 from repro.utils.errors import ConfigurationError, MappingError
+
+if TYPE_CHECKING:  # pragma: no cover - import only used by type checkers
+    from repro.eval.parallel import BatchBackend
 
 #: Default size of the per-context cost memo.
 DEFAULT_CACHE_SIZE = 4096
@@ -59,9 +87,19 @@ class EvaluationContext(ABC):
     """Shared pricing interface for all mapping search engines.
 
     Subclasses implement :meth:`_compute_cost`; the base class provides the
-    LRU memo, batch evaluation and the (optional) delta protocol.  Engines
-    discover delta support through the ``supports_delta`` attribute — see
-    :func:`repro.search.base.delta_callable`.
+    LRU memo, batch evaluation (optionally fanned out over a
+    :class:`~repro.eval.parallel.BatchBackend`) and the (optional) delta
+    protocol.  Engines discover delta support through the ``supports_delta``
+    attribute — see :func:`repro.search.base.delta_callable` — and batch
+    support through ``supports_batch`` / :func:`repro.search.base.batch_callable`.
+
+    Parameters
+    ----------
+    cache_size:
+        Size of the cost memo (0 disables memoisation).
+    backend:
+        Default :class:`~repro.eval.parallel.BatchBackend` used by
+        :meth:`evaluate_batch`; ``None`` prices batches inline.
     """
 
     #: Human-readable identifier used in reports and benchmark tables.
@@ -70,15 +108,25 @@ class EvaluationContext(ABC):
     #: Whether :meth:`delta` returns exact incremental costs.
     supports_delta: bool = False
 
-    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional["BatchBackend"] = None,
+    ) -> None:
         if cache_size < 0:
             raise ConfigurationError(
                 f"cache_size must be non-negative, got {cache_size}"
             )
         self._cache_size = cache_size
+        self._backend = backend
         self._memo: "OrderedDict[Mapping, float]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+
+    @property
+    def backend(self) -> Optional["BatchBackend"]:
+        """The default batch backend (``None`` means inline pricing)."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Pricing
@@ -114,10 +162,73 @@ class EvaluationContext(ABC):
         )
 
     def evaluate_batch(
-        self, mappings: Iterable[Union[Mapping, Dict[str, int]]]
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend: Optional["BatchBackend"] = None,
     ) -> List[float]:
-        """Price several candidates in one call (shares the memo)."""
-        return [self.cost(mapping) for mapping in mappings]
+        """Price several candidates in one call (shares the memo).
+
+        Candidates already in the memo are answered from it; the misses are
+        deduplicated and handed to the backend as one batch, then written
+        back to the memo.  Costs are bit-identical to per-candidate
+        :meth:`cost` calls regardless of the backend — only *where* the
+        arithmetic runs changes.
+
+        Parameters
+        ----------
+        mappings:
+            Candidates to price (:class:`~repro.core.mapping.Mapping`
+            objects or plain assignment dicts).
+        backend:
+            Override of the context's default backend for this call; with
+            both ``None`` the batch is priced inline.
+
+        Returns
+        -------
+        list of float
+            One cost per candidate, in input order.
+        """
+        active = backend if backend is not None else self._backend
+        if active is None:
+            return [self.cost(mapping) for mapping in mappings]
+
+        items = list(mappings)
+        memo = self._memo
+        use_memo = self._cache_size > 0
+        costs: List[Optional[float]] = [None] * len(items)
+        # Unique misses in first-seen order; duplicate Mappings collapse to
+        # one computation (dict candidates are not hashable, so each prices
+        # on its own).
+        unique: List[Any] = []
+        targets: List[List[int]] = []
+        seen: Dict[Mapping, int] = {}
+        for index, mapping in enumerate(items):
+            if isinstance(mapping, Mapping):
+                if use_memo:
+                    cached = memo.get(mapping)
+                    if cached is not None:
+                        self._hits += 1
+                        memo.move_to_end(mapping)
+                        costs[index] = cached
+                        continue
+                slot = seen.get(mapping)
+                if slot is not None:
+                    targets[slot].append(index)
+                    continue
+                seen[mapping] = len(unique)
+            unique.append(mapping)
+            targets.append([index])
+        if unique:
+            computed = active.evaluate(self, unique)
+            for mapping, cost, indices in zip(unique, computed, targets):
+                self._misses += 1
+                for index in indices:
+                    costs[index] = cost
+                if use_memo and isinstance(mapping, Mapping):
+                    memo[mapping] = cost
+                    if len(memo) > self._cache_size:
+                        memo.popitem(last=False)
+        return costs  # type: ignore[return-value]  # every slot is filled
 
     @abstractmethod
     def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
@@ -156,6 +267,19 @@ class CwmEvaluationContext(EvaluationContext):
         by default the process-wide shared table is used.
     cache_size:
         Size of the cost memo (0 disables it).
+    backend:
+        Default :class:`~repro.eval.parallel.BatchBackend` for
+        :meth:`EvaluationContext.evaluate_batch`; ``None`` prices inline.
+
+    Notes
+    -----
+    Pickling is *light*: the memo and the backend are always dropped, and
+    the process-shared route table is dropped too — the unpickled context
+    rebuilds an identical one via
+    :func:`~repro.eval.route_table.get_route_table` (the contract the
+    process-pool backend relies on).  A *custom* table (one that is not the
+    shared instance, e.g. built for a stateful routing algorithm) travels
+    with the pickle so pooled pricing stays bit-identical to serial.
     """
 
     supports_delta = True
@@ -167,8 +291,9 @@ class CwmEvaluationContext(EvaluationContext):
         include_local: bool = True,
         route_table: Optional[RouteTable] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional["BatchBackend"] = None,
     ) -> None:
-        super().__init__(cache_size)
+        super().__init__(cache_size, backend)
         self.cwg = cwg
         self.platform = platform
         self.include_local = include_local
@@ -190,6 +315,33 @@ class CwmEvaluationContext(EvaluationContext):
             incident.setdefault(target, []).append(index)
         self._incident = incident
         self._flat_energy = self.route_table.flat_bit_energy()
+
+    # ------------------------------------------------------------------
+    # Pickling (picklable-light: workers rebuild tables locally)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        # The shared table is dropped (the worker rebuilds an identical one);
+        # a custom table must travel, or pooled pricing could silently
+        # diverge from serial pricing for non-standard routing.
+        shared = is_shared_route_table(
+            self.route_table, self.platform, self.include_local
+        )
+        return {
+            "cwg": self.cwg,
+            "platform": self.platform,
+            "include_local": self.include_local,
+            "cache_size": self._cache_size,
+            "route_table": None if shared else self.route_table,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(  # type: ignore[misc]  # rebuild = re-run the constructor
+            state["cwg"],
+            state["platform"],
+            include_local=state["include_local"],
+            route_table=state.get("route_table"),
+            cache_size=state["cache_size"],
+        )
 
     # ------------------------------------------------------------------
     def _tile_assignments(
@@ -306,6 +458,35 @@ class CdcmEvaluationContext(EvaluationContext):
     schedule replay (``supports_delta`` stays False and engines fall back to
     full evaluation); the replay itself is accelerated by the shared
     :class:`~repro.eval.route_table.RouteTable` inside the scheduler.
+
+    Parameters
+    ----------
+    cdcg:
+        Packet-level application model.
+    platform:
+        Target architecture.
+    metric:
+        ``"energy"`` (equation 10, the default), ``"time"`` or
+        ``"weighted"`` — see :class:`~repro.core.cdcm.CdcmEvaluator`.
+    energy_weight, time_weight:
+        Scalarisation weights for the ``"weighted"`` metric.
+    include_local:
+        Whether local core-router links contribute to dynamic energy.
+    route_table:
+        Optional pre-built shared table.
+    cache_size:
+        Size of the cost memo (0 disables it).
+    backend:
+        Default :class:`~repro.eval.parallel.BatchBackend` for
+        :meth:`EvaluationContext.evaluate_batch`; CDCM replays are orders of
+        magnitude more expensive than CWM sums, which makes this context the
+        main beneficiary of a process pool.
+
+    Notes
+    -----
+    Pickling is *light*: the memo and backend are dropped, the shared route
+    table is rebuilt by the unpickling process, and a custom table travels
+    with the pickle (see :class:`CwmEvaluationContext`).
     """
 
     supports_delta = False
@@ -320,8 +501,9 @@ class CdcmEvaluationContext(EvaluationContext):
         include_local: bool = True,
         route_table: Optional[RouteTable] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional["BatchBackend"] = None,
     ) -> None:
-        super().__init__(cache_size)
+        super().__init__(cache_size, backend)
         self.cdcg = cdcg
         self.platform = platform
         self.evaluator = CdcmEvaluator(
@@ -333,6 +515,38 @@ class CdcmEvaluationContext(EvaluationContext):
             route_table=route_table,
         )
         self.name = f"cdcm({cdcg.name},{metric})"
+
+    # ------------------------------------------------------------------
+    # Pickling (picklable-light: workers rebuild tables locally)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        evaluator = self.evaluator
+        # Same custom-table rule as CwmEvaluationContext: the replay
+        # scheduler's table ships only when it is not the shared one.
+        table = evaluator.route_table
+        shared = is_shared_route_table(table, self.platform)
+        return {
+            "cdcg": self.cdcg,
+            "platform": self.platform,
+            "metric": evaluator.metric,
+            "energy_weight": evaluator.energy_weight,
+            "time_weight": evaluator.time_weight,
+            "include_local": evaluator.include_local,
+            "cache_size": self._cache_size,
+            "route_table": None if shared else table,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(  # type: ignore[misc]  # rebuild = re-run the constructor
+            state["cdcg"],
+            state["platform"],
+            metric=state["metric"],
+            energy_weight=state["energy_weight"],
+            time_weight=state["time_weight"],
+            include_local=state["include_local"],
+            route_table=state.get("route_table"),
+            cache_size=state["cache_size"],
+        )
 
     def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
         return self.evaluator.cost(self.cdcg, mapping)

@@ -130,6 +130,66 @@ class RouteTable:
             precompute=precompute,
         )
 
+    @classmethod
+    def from_tables(
+        cls,
+        mesh: "Mesh",
+        routing: "RoutingAlgorithm",
+        technology: "Technology",
+        include_local: bool,
+        paths: List[Tuple[int, ...]],
+        links: List[Tuple[Tuple[int, int], ...]],
+        hops: List[int],
+        energy: List[float],
+    ) -> "RouteTable":
+        """Assemble an eager table from already-computed row-major arrays.
+
+        This is the assembly half of the sharded parallel warm-up
+        (:func:`repro.eval.parallel.warm_route_table`): workers compute slices
+        of the four arrays for disjoint source-tile ranges and the caller
+        concatenates them here instead of re-walking every route serially.
+
+        Parameters
+        ----------
+        mesh, routing, technology, include_local:
+            The platform facets the arrays were computed for (same meaning as
+            in the constructor).
+        paths, links, hops, energy:
+            Row-major per-pair arrays (index ``source * num_tiles + target``),
+            each of length ``num_tiles ** 2``.
+
+        Returns
+        -------
+        RouteTable
+            An eager table semantically identical to
+            ``RouteTable(mesh, routing, technology, include_local)``.
+        """
+        num_tiles = mesh.num_tiles
+        expected = num_tiles * num_tiles
+        for label, table in (
+            ("paths", paths),
+            ("links", links),
+            ("hops", hops),
+            ("energy", energy),
+        ):
+            if len(table) != expected:
+                raise ConfigurationError(
+                    f"{label} table has {len(table)} entries, expected "
+                    f"{expected} for the {num_tiles}-tile {mesh}"
+                )
+        instance = object.__new__(cls)
+        instance.mesh = mesh
+        instance.routing = routing
+        instance.technology = technology
+        instance.include_local = include_local
+        instance.num_tiles = num_tiles
+        instance._eager = True
+        instance._paths = list(paths)
+        instance._links = list(links)
+        instance._hops = list(hops)
+        instance._energy = list(energy)
+        return instance
+
     @property
     def is_precomputed(self) -> bool:
         """True when every pair was materialised eagerly at construction."""
@@ -209,6 +269,10 @@ _TABLE_CACHE: Dict[Tuple, RouteTable] = {}
 _TABLE_CACHE_LIMIT = 32
 
 
+def _cache_key(platform: "Platform", include_local: bool) -> Tuple:
+    return (platform.mesh, type(platform.routing), platform.technology, include_local)
+
+
 def get_route_table(platform: "Platform", include_local: bool = True) -> RouteTable:
     """Shared :class:`RouteTable` for *platform*.
 
@@ -218,7 +282,7 @@ def get_route_table(platform: "Platform", include_local: bool = True) -> RouteTa
     stateless (true for all of :mod:`repro.noc.routing`); a stateful custom
     algorithm should build :meth:`RouteTable.for_platform` directly.
     """
-    key = (platform.mesh, type(platform.routing), platform.technology, include_local)
+    key = _cache_key(platform, include_local)
     table = _TABLE_CACHE.get(key)
     if table is None:
         table = RouteTable.for_platform(platform, include_local=include_local)
@@ -228,9 +292,76 @@ def get_route_table(platform: "Platform", include_local: bool = True) -> RouteTa
     return table
 
 
+def register_route_table(
+    platform: "Platform", table: RouteTable, include_local: bool = True
+) -> None:
+    """Install *table* as the process-wide shared table for *platform*.
+
+    Used by the parallel warm-up (:func:`repro.eval.parallel.warm_route_table`)
+    so that a table assembled from sharded worker results is the one every
+    subsequent :func:`get_route_table` call returns — large-NoC sweeps warm up
+    once, in parallel, and then price serially (or in a pool) off the shared
+    result.
+
+    Parameters
+    ----------
+    platform:
+        Platform the table was built for.
+    table:
+        The table to share; must match the platform's tile count.
+    include_local:
+        The local-link flag the table was built with (part of the cache key).
+    """
+    if table.num_tiles != platform.num_tiles:
+        raise ConfigurationError(
+            f"table covers {table.num_tiles} tiles but the platform has "
+            f"{platform.num_tiles}"
+        )
+    key = _cache_key(platform, include_local)
+    if key not in _TABLE_CACHE:  # overwriting an entry must not evict others
+        while len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+    _TABLE_CACHE[key] = table
+
+
+def is_shared_route_table(
+    table: RouteTable, platform: "Platform", include_local: bool = True
+) -> bool:
+    """Whether *table* is the process-shared table for *platform*.
+
+    Used by the picklable-light contexts to decide what travels across a
+    process boundary: the shared table is dropped (workers rebuild an
+    identical one via :func:`get_route_table`), while a custom table — e.g.
+    one built for a stateful routing algorithm — must ship with the pickle,
+    because a worker-side rebuild could resolve different routes and break
+    the bit-identity contract of the parallel backend.
+
+    Parameters
+    ----------
+    table:
+        The table a context is bound to.
+    platform:
+        The context's platform.
+    include_local:
+        The local-link flag the context was built with.
+
+    Returns
+    -------
+    bool
+        True when *table* is exactly the cached shared instance.
+    """
+    return _TABLE_CACHE.get(_cache_key(platform, include_local)) is table
+
+
 def clear_route_table_cache() -> None:
     """Drop all cached tables (used by tests and long-running sweeps)."""
     _TABLE_CACHE.clear()
 
 
-__all__ = ["RouteTable", "get_route_table", "clear_route_table_cache"]
+__all__ = [
+    "RouteTable",
+    "get_route_table",
+    "register_route_table",
+    "is_shared_route_table",
+    "clear_route_table_cache",
+]

@@ -208,6 +208,11 @@ class CdcmScheduler:
             route_table = get_route_table(platform)
         self._route_table = route_table
 
+    @property
+    def route_table(self):
+        """The route table replays read paths from (shared or custom)."""
+        return self._route_table
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------

@@ -16,22 +16,30 @@ objective function ``mapping -> cost``, so it works identically for CWM and
 CDCM objectives.
 """
 
-from repro.search.base import Searcher, SearchResult
+from repro.search.base import (
+    Searcher,
+    SearchResult,
+    batch_callable,
+    delta_callable,
+)
 from repro.search.exhaustive import ExhaustiveSearch
 from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
 from repro.search.random_search import RandomSearch
 from repro.search.greedy import GreedyConstructive
-from repro.search.genetic import GeneticSearch
+from repro.search.genetic import GeneticParameters, GeneticSearch
 from repro.search.registry import get_searcher, available_searchers
 
 __all__ = [
     "Searcher",
     "SearchResult",
+    "batch_callable",
+    "delta_callable",
     "ExhaustiveSearch",
     "AnnealingSchedule",
     "SimulatedAnnealing",
     "RandomSearch",
     "GreedyConstructive",
+    "GeneticParameters",
     "GeneticSearch",
     "get_searcher",
     "available_searchers",

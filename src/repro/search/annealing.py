@@ -20,18 +20,31 @@ incremental sum rounds differently than the difference of two full sums, so
 a cost-neutral swap can consume the RNG differently).  Pipelines that need
 bit-stable reproduction of published rows pin ``use_delta=False`` — see
 :class:`repro.analysis.comparison.ComparisonConfig`.
+
+The engine also supports multi-restart annealing (``restarts=k``): k
+independent walks from per-restart seed streams, best result kept.  Restarts
+are embarrassingly parallel, so ``n_workers`` fans them out over a
+:class:`~repro.eval.parallel.ProcessPoolBackend`; per-restart seeds are drawn
+before any work is scheduled, making serial and pooled runs bit-identical.
 """
 
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.mapping import Mapping
-from repro.search.base import Objective, SearchResult, Searcher, delta_callable
+from repro.search.base import (
+    Objective,
+    PoolOwnerMixin,
+    SearchResult,
+    Searcher,
+    delta_callable,
+)
 from repro.utils.errors import ConfigurationError
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import RandomSource, ensure_rng, spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -110,7 +123,71 @@ FAST_SCHEDULE = AnnealingSchedule(
 )
 
 
-class SimulatedAnnealing(Searcher):
+def _run_restart_payload(
+    schedule: AnnealingSchedule,
+    use_delta: bool,
+    payload: bytes,
+    seed: int,
+    fresh_initial: bool,
+) -> SearchResult:
+    """Pool-side restart unit: unpickle ``(objective, initial)`` and run.
+
+    The driver pickles the objective **once** and ships the same bytes to
+    every restart task (a CDCM objective carries the whole application
+    graph; re-pickling it per restart would multiply that cost), so this
+    wrapper exists purely to move the deserialisation into the worker.
+    """
+    objective, initial = pickle.loads(payload)
+    return _run_restart(schedule, use_delta, objective, initial, seed, fresh_initial)
+
+
+def _run_restart(
+    schedule: AnnealingSchedule,
+    use_delta: bool,
+    objective: Objective,
+    initial: Mapping,
+    seed: int,
+    fresh_initial: bool,
+) -> SearchResult:
+    """Run one independent annealing restart (the unit of restart fan-out).
+
+    Module-level so it pickles: the multi-restart driver ships
+    ``(schedule, objective, initial, seed)`` to pool workers through
+    :meth:`~repro.eval.parallel.BatchBackend.map`, and runs the identical
+    function inline when no pool is configured — which is what keeps serial
+    and pooled restarts bit-identical.
+
+    Parameters
+    ----------
+    schedule, use_delta:
+        Engine configuration of the restart.
+    objective:
+        The objective to minimise (rebuilt in the worker via the context's
+        light pickling when run remotely).
+    initial:
+        The caller's starting mapping.
+    seed:
+        Integer seed of this restart's private RNG stream.
+    fresh_initial:
+        When True, the restart starts from a random mapping drawn from its
+        own stream instead of *initial* (all restarts but the first).
+
+    Returns
+    -------
+    SearchResult
+        The restart's search trace.
+    """
+    generator = ensure_rng(seed)
+    start = initial
+    if fresh_initial:
+        num_tiles = initial.num_tiles
+        assert num_tiles is not None  # checked by the driver
+        start = Mapping.random(initial.cores, num_tiles, generator)
+    engine = SimulatedAnnealing(schedule, use_delta=use_delta)
+    return engine.search(objective, start, generator)
+
+
+class SimulatedAnnealing(PoolOwnerMixin, Searcher):
     """Simulated-annealing search over tile-swap moves.
 
     Parameters
@@ -122,6 +199,24 @@ class SimulatedAnnealing(Searcher):
         supports it (see :func:`repro.search.base.delta_callable`); disable to
         force full re-evaluation of every candidate (the seed behaviour, kept
         for benchmarking the evaluation engine against its baseline).
+    restarts:
+        Independent annealing runs per :meth:`search` call; the best result
+        over all restarts is returned.  The first restart starts from the
+        caller's initial mapping, later ones from fresh random mappings drawn
+        from per-restart seed streams.  1 (the default) reproduces the
+        single-run behaviour exactly.
+    n_workers:
+        Fan the restarts out over a
+        :class:`~repro.eval.parallel.ProcessPoolBackend` of this size
+        (requires a picklable objective — the contexts of
+        :mod:`repro.core.objective` are; a non-picklable objective silently
+        falls back to serial restarts).  Results are bit-identical to serial
+        restarts; note that with a pool the objective's evaluation counters
+        only reflect main-process work, while ``SearchResult.evaluations``
+        aggregates all restarts either way.
+    backend:
+        Optional explicit backend for the restart fan-out (overrides
+        ``n_workers``); the caller owns it.
     """
 
     name = "annealing"
@@ -138,9 +233,25 @@ class SimulatedAnnealing(Searcher):
         self,
         schedule: AnnealingSchedule | None = None,
         use_delta: bool = True,
+        restarts: int = 1,
+        n_workers: Optional[int] = None,
+        backend=None,
     ) -> None:
+        if restarts < 1:
+            raise ConfigurationError(f"restarts must be positive, got {restarts}")
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
         self.schedule = schedule or AnnealingSchedule()
         self.use_delta = use_delta
+        self.restarts = restarts
+        self.n_workers = n_workers
+        self._backend = backend
+        self._owned_backend = None
+
+    # ------------------------------------------------------------------
+    def _restart_backend(self):
+        """The backend restart fan-out goes through (``None`` = serial)."""
+        return self._resolve_backend(self.n_workers)
 
     # ------------------------------------------------------------------
     def search(
@@ -149,6 +260,93 @@ class SimulatedAnnealing(Searcher):
         initial: Mapping,
         rng: RandomSource = None,
     ) -> SearchResult:
+        """Minimise *objective* by annealing (optionally multi-restart).
+
+        Parameters
+        ----------
+        objective:
+            ``mapping -> cost`` callable; delta-capable objectives are priced
+            incrementally unless ``use_delta`` is False.
+        initial:
+            Starting mapping (must know the NoC size).
+        rng:
+            Seed or generator; with ``restarts > 1`` it only seeds the
+            per-restart streams, so results are reproducible regardless of
+            how the restarts are scheduled.
+
+        Returns
+        -------
+        SearchResult
+            The single run's trace, or the aggregate of all restarts (best
+            mapping overall, summed evaluations/accepted moves, history of
+            global-best improvements in restart order).
+        """
+        if self.restarts > 1:
+            return self._search_restarts(objective, initial, rng)
+        return self._search_once(objective, initial, rng)
+
+    def _search_restarts(
+        self,
+        objective: Objective,
+        initial: Mapping,
+        rng: RandomSource,
+    ) -> SearchResult:
+        """Run ``restarts`` independent walks and aggregate the best."""
+        if initial.num_tiles is None:
+            raise ConfigurationError(
+                "simulated annealing requires the initial mapping to know the NoC size"
+            )
+        seeds = spawn_seeds(ensure_rng(rng), self.restarts)
+        backend = self._restart_backend()
+        payload: Optional[bytes] = None
+        if backend is not None:
+            # Pickle once, ship the same bytes to every restart task; a
+            # non-picklable objective silently falls back to serial restarts.
+            try:
+                payload = pickle.dumps(
+                    (objective, initial), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                backend = None
+        if backend is not None and payload is not None:
+            tasks = [
+                (self.schedule, self.use_delta, payload, seed, index > 0)
+                for index, seed in enumerate(seeds)
+            ]
+            results: List[SearchResult] = backend.map(_run_restart_payload, tasks)
+        else:
+            results = [
+                _run_restart(
+                    self.schedule, self.use_delta, objective, initial, seed, index > 0
+                )
+                for index, seed in enumerate(seeds)
+            ]
+
+        best_index = min(
+            range(len(results)), key=lambda i: (results[i].best_cost, i)
+        )
+        offset = 0
+        history: List[Tuple[int, float]] = []
+        for result in results:
+            for evaluation, cost in result.history:
+                if not history or cost < history[-1][1]:
+                    history.append((offset + evaluation, cost))
+            offset += result.evaluations
+        return SearchResult(
+            best_mapping=results[best_index].best_mapping,
+            best_cost=results[best_index].best_cost,
+            evaluations=sum(r.evaluations for r in results),
+            history=history,
+            accepted_moves=sum(r.accepted_moves for r in results),
+        )
+
+    def _search_once(
+        self,
+        objective: Objective,
+        initial: Mapping,
+        rng: RandomSource = None,
+    ) -> SearchResult:
+        """One annealing walk (the pre-restart behaviour, unchanged)."""
         generator = ensure_rng(rng)
         schedule = self.schedule
         num_tiles = initial.num_tiles

@@ -16,6 +16,11 @@ Objective = Callable[[Mapping], float]
 #: contents of two tiles (see :mod:`repro.eval`).
 DeltaFunction = Callable[[Mapping, int, int], float]
 
+#: Signature of a bulk objective: costs of several candidates in input order.
+#: Implementations must accept an optional ``backend`` keyword naming a
+#: :class:`~repro.eval.parallel.BatchBackend` override.
+BatchFunction = Callable[..., List[float]]
+
 
 def delta_callable(objective: Objective) -> Optional[DeltaFunction]:
     """Return the objective's exact swap-delta evaluator, if it has one.
@@ -25,14 +30,95 @@ def delta_callable(objective: Objective) -> Optional[DeltaFunction]:
     :mod:`repro.core.objective` advertise incremental pricing through a
     truthy ``supports_delta`` attribute and a ``delta(mapping, tile_a,
     tile_b)`` method, while plain callables simply lack both and make the
-    engine fall back to full re-evaluation.  Returns ``None`` when the
-    objective cannot price moves incrementally.
+    engine fall back to full re-evaluation.
+
+    Parameters
+    ----------
+    objective:
+        The objective handed to :meth:`Searcher.search`.
+
+    Returns
+    -------
+    DeltaFunction or None
+        The bound ``delta`` method, or ``None`` when the objective cannot
+        price moves incrementally.
     """
     if getattr(objective, "supports_delta", False):
         delta = getattr(objective, "delta", None)
         if callable(delta):
             return delta
     return None
+
+
+def batch_callable(objective: Objective) -> Optional[BatchFunction]:
+    """Return the objective's bulk evaluator, if it has one.
+
+    Population-based engines (genetic, exhaustive) probe the objective with
+    this helper: objectives built by :mod:`repro.core.objective` advertise
+    bulk pricing through a truthy ``supports_batch`` attribute and an
+    ``evaluate_batch(mappings, backend=None)`` method routed through the
+    shared :class:`~repro.eval.context.EvaluationContext` — which is where a
+    :class:`~repro.eval.parallel.BatchBackend` can fan the batch out over a
+    process pool.  Plain callables lack both and make the engine price
+    candidates one at a time, in the same order, with identical results.
+
+    Parameters
+    ----------
+    objective:
+        The objective handed to :meth:`Searcher.search`.
+
+    Returns
+    -------
+    BatchFunction or None
+        The bound ``evaluate_batch`` method, or ``None`` when the objective
+        cannot price in bulk.
+    """
+    if getattr(objective, "supports_batch", False):
+        batch = getattr(objective, "evaluate_batch", None)
+        if callable(batch):
+            return batch
+    return None
+
+
+class PoolOwnerMixin:
+    """Shared lifecycle for engines that can own a process-pool backend.
+
+    Engines with a parallel-pricing knob either receive an explicit backend
+    (caller-owned, never closed here) or lazily build their own
+    :class:`~repro.eval.parallel.ProcessPoolBackend` from an ``n_workers``
+    count.  This mixin centralises that resolution plus the
+    :meth:`close` / context-manager plumbing, so the policy lives in one
+    place.  Subclasses must set ``_backend`` (the explicit backend or
+    ``None``) in their constructor and call :meth:`_resolve_backend` with
+    their worker count.
+    """
+
+    _backend = None
+    _owned_backend = None
+
+    def _resolve_backend(self, n_workers: Optional[int]):
+        """The backend batched work goes through (``None`` = inline/serial)."""
+        if self._backend is not None:
+            return self._backend
+        if n_workers is not None and n_workers > 1:
+            if self._owned_backend is None:
+                from repro.eval.parallel import ProcessPoolBackend
+
+                self._owned_backend = ProcessPoolBackend(n_workers=n_workers)
+            return self._owned_backend
+        return None
+
+    def close(self) -> None:
+        """Shut down the engine-owned process pool, if one was created."""
+        if self._owned_backend is not None:
+            self._owned_backend.close()
+            self._owned_backend = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
@@ -84,8 +170,11 @@ class Searcher(ABC):
 
     Engines that explore by tile swaps may additionally probe the objective
     with :func:`delta_callable` and price moves incrementally when the
-    objective supports it; the plain ``mapping -> cost`` contract remains the
-    only requirement.
+    objective supports it; population-based engines probe with
+    :func:`batch_callable` and price whole generations (or enumeration
+    chunks) in one call — the hook that lets a
+    :class:`~repro.eval.parallel.BatchBackend` parallelise them.  The plain
+    ``mapping -> cost`` contract remains the only requirement.
     """
 
     #: Short identifier used by the registry and reports.
@@ -104,4 +193,13 @@ class Searcher(ABC):
         return f"{type(self).__name__}()"
 
 
-__all__ = ["Objective", "DeltaFunction", "delta_callable", "SearchResult", "Searcher"]
+__all__ = [
+    "Objective",
+    "DeltaFunction",
+    "BatchFunction",
+    "delta_callable",
+    "batch_callable",
+    "PoolOwnerMixin",
+    "SearchResult",
+    "Searcher",
+]

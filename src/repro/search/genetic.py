@@ -10,22 +10,61 @@ population-based strategy:
 * crossover is a position-preserving uniform crossover repaired to keep the
   assignment injective;
 * mutation swaps the contents of two tiles.
+
+Pricing is batched: each generation's children are generated first (consuming
+the RNG in exactly the order the per-child loop used to) and then priced in
+one :meth:`~repro.core.objective.CountingObjective.evaluate_batch` call.
+That batch call is the parallelism seam — set
+:attr:`GeneticParameters.n_workers` (or pass a
+:class:`~repro.eval.parallel.BatchBackend` to :class:`GeneticSearch`) to fan
+generations out over a process pool.  Costs are bit-identical across
+backends, so a seeded run returns the same mapping regardless of
+``n_workers``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from repro.core.mapping import Mapping
-from repro.search.base import Objective, SearchResult, Searcher
+from repro.search.base import (
+    Objective,
+    PoolOwnerMixin,
+    SearchResult,
+    Searcher,
+    batch_callable,
+)
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng
 
 
 @dataclass(frozen=True)
 class GeneticParameters:
-    """Knobs of :class:`GeneticSearch`."""
+    """Knobs of :class:`GeneticSearch`.
+
+    Attributes
+    ----------
+    population_size:
+        Individuals per generation (at least 2).
+    generations:
+        Number of generations to evolve.
+    tournament_size:
+        Individuals drawn per tournament selection.
+    crossover_rate:
+        Probability a child is produced by crossover rather than cloning.
+    mutation_rate:
+        Probability a child is mutated by one tile swap.
+    elite_count:
+        Best individuals copied unchanged into the next generation.
+    n_workers:
+        Parallel pricing fan-out: ``None`` (or 1) prices generations
+        serially; larger values make :class:`GeneticSearch` build a
+        :class:`~repro.eval.parallel.ProcessPoolBackend` of that size for its
+        batch evaluations.  Only effective when the objective supports batch
+        pricing (see :func:`repro.search.base.batch_callable`); results are
+        bit-identical either way.
+    """
 
     population_size: int = 30
     generations: int = 40
@@ -33,6 +72,7 @@ class GeneticParameters:
     crossover_rate: float = 0.9
     mutation_rate: float = 0.3
     elite_count: int = 2
+    n_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -51,15 +91,55 @@ class GeneticParameters:
             raise ConfigurationError(
                 "elite_count must be smaller than population_size"
             )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be positive, got {self.n_workers}"
+            )
 
 
-class GeneticSearch(Searcher):
-    """Permutation genetic algorithm over core-to-tile assignments."""
+class GeneticSearch(PoolOwnerMixin, Searcher):
+    """Permutation genetic algorithm over core-to-tile assignments.
+
+    Parameters
+    ----------
+    parameters:
+        GA knobs; defaults to :class:`GeneticParameters`.
+    backend:
+        Optional explicit :class:`~repro.eval.parallel.BatchBackend` used for
+        generation pricing (overrides ``parameters.n_workers``).  The caller
+        owns it (it is not closed by the engine).
+    n_workers:
+        Convenience override of ``parameters.n_workers`` so the registry can
+        surface the knob directly: ``get_searcher("genetic", n_workers=4)``.
+
+    Notes
+    -----
+    When the engine builds its own pool from ``n_workers``, the pool is
+    created lazily on the first batched generation, reused across searches,
+    and released by :meth:`close` (the engine also works as a context
+    manager).  Objectives without batch support are priced candidate by
+    candidate, in identical order, with identical results.
+    """
 
     name = "genetic"
 
-    def __init__(self, parameters: GeneticParameters | None = None) -> None:
-        self.parameters = parameters or GeneticParameters()
+    def __init__(
+        self,
+        parameters: GeneticParameters | None = None,
+        backend=None,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        params = parameters or GeneticParameters()
+        if n_workers is not None:
+            params = replace(params, n_workers=n_workers)
+        self.parameters = params
+        self._backend = backend
+        self._owned_backend = None
+
+    # ------------------------------------------------------------------
+    def _pricing_backend(self):
+        """The backend generation batches go through (``None`` = inline)."""
+        return self._resolve_backend(self.parameters.n_workers)
 
     # ------------------------------------------------------------------
     def search(
@@ -68,6 +148,23 @@ class GeneticSearch(Searcher):
         initial: Mapping,
         rng: RandomSource = None,
     ) -> SearchResult:
+        """Evolve mappings from *initial* and return the best found.
+
+        Parameters
+        ----------
+        objective:
+            ``mapping -> cost`` callable (lower is better); batch-capable
+            objectives are priced generation-at-a-time.
+        initial:
+            Seed individual; must know the NoC size.
+        rng:
+            Seed or generator driving selection, crossover and mutation.
+
+        Returns
+        -------
+        SearchResult
+            Best mapping, its cost, evaluation count and convergence history.
+        """
         params = self.parameters
         generator = ensure_rng(rng)
         num_tiles = initial.num_tiles
@@ -77,10 +174,18 @@ class GeneticSearch(Searcher):
             )
         cores = initial.cores
 
+        batch_fn = batch_callable(objective)
+        backend = self._pricing_backend() if batch_fn is not None else None
+
+        def price(candidates: List[Mapping]) -> List[float]:
+            if batch_fn is not None:
+                return batch_fn(candidates, backend=backend)
+            return [objective(candidate) for candidate in candidates]
+
         population: List[Mapping] = [initial]
         while len(population) < params.population_size:
             population.append(Mapping.random(cores, num_tiles, generator))
-        costs = [objective(individual) for individual in population]
+        costs = price(population)
         evaluations = len(population)
         accepted = 0
 
@@ -93,7 +198,11 @@ class GeneticSearch(Searcher):
             next_population = [population[i] for i in ranked[: params.elite_count]]
             next_costs = [costs[i] for i in ranked[: params.elite_count]]
 
-            while len(next_population) < params.population_size:
+            # Generate the whole brood first (same RNG consumption order as
+            # the old per-child loop), then price it as one batch — the
+            # parallel seam.
+            children: List[Mapping] = []
+            while len(next_population) + len(children) < params.population_size:
                 parent_a = self._tournament(population, costs, generator)
                 parent_b = self._tournament(population, costs, generator)
                 if generator.random() < params.crossover_rate:
@@ -103,9 +212,10 @@ class GeneticSearch(Searcher):
                 if generator.random() < params.mutation_rate:
                     child = self._mutate(child, num_tiles, generator)
                     accepted += 1
-                next_population.append(child)
-                next_costs.append(objective(child))
-                evaluations += 1
+                children.append(child)
+            next_population.extend(children)
+            next_costs.extend(price(children))
+            evaluations += len(children)
 
             population, costs = next_population, next_costs
             gen_best = min(range(len(population)), key=costs.__getitem__)
@@ -123,6 +233,7 @@ class GeneticSearch(Searcher):
 
     # ------------------------------------------------------------------
     def _tournament(self, population: List[Mapping], costs: List[float], rng) -> Mapping:
+        """Pick the cheapest of ``tournament_size`` uniformly drawn individuals."""
         size = self.parameters.tournament_size
         indices = rng.integers(0, len(population), size=size)
         winner = min(indices, key=lambda idx: costs[int(idx)])
@@ -157,6 +268,7 @@ class GeneticSearch(Searcher):
         return Mapping(child, num_tiles=num_tiles)
 
     def _mutate(self, mapping: Mapping, num_tiles: int, rng) -> Mapping:
+        """Swap the contents of two distinct tiles."""
         tile_a = int(rng.integers(num_tiles))
         tile_b = int(rng.integers(num_tiles - 1))
         if tile_b >= tile_a:

@@ -11,7 +11,11 @@ Engine keyword arguments are forwarded verbatim, so evaluation-engine knobs
 travel through the registry too — e.g. ``get_searcher("sa", use_delta=False)``
 builds an annealer that ignores incremental pricing and re-evaluates every
 candidate in full (the pre-:mod:`repro.eval` behaviour, kept for perf
-baselines).
+baselines).  The parallel-pricing knobs ride the same path:
+``get_searcher("genetic", n_workers=4)`` prices GA generations over a
+four-worker process pool, ``get_searcher("sa", restarts=8, n_workers=4)``
+fans restarts out, and ``get_searcher("es", n_workers=4)`` prices enumeration
+chunks in parallel (see :mod:`repro.eval.parallel`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Documentation gate for CI: docstrings + intra-doc links.
+
+Two checks, zero third-party dependencies:
+
+1. **Docstring coverage** — every public module, class, function and public
+   method reachable from ``repro.eval`` and ``repro.search`` (the documented
+   API surface of docs/api.md) must carry a docstring.  Public means: listed
+   in ``__all__`` (for module members) or not underscore-prefixed (for
+   methods of public classes); dunder methods and inherited members are
+   exempt.
+
+2. **Link integrity** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must point to an existing file, and fragment links
+   (``path#anchor`` or ``#anchor``) must match a heading in the target file
+   (GitHub-style slugs).
+
+Exits non-zero with a list of violations; run from the repository root:
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Packages whose public API must be fully documented.
+PACKAGES = ["repro.eval", "repro.search"]
+
+#: Markdown files whose relative links are verified.
+DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+# ----------------------------------------------------------------------
+# Docstring coverage
+# ----------------------------------------------------------------------
+def _public_modules(package_name: str):
+    package = importlib.import_module(package_name)
+    yield package
+    package_path = Path(package.__file__).parent
+    for module_file in sorted(package_path.glob("*.py")):
+        if module_file.stem.startswith("_"):
+            continue
+        yield importlib.import_module(f"{package_name}.{module_file.stem}")
+
+
+def check_docstrings() -> list:
+    problems = []
+    for package_name in PACKAGES:
+        for module in _public_modules(package_name):
+            if not (module.__doc__ or "").strip():
+                problems.append(f"{module.__name__}: missing module docstring")
+            exported = getattr(module, "__all__", None)
+            if exported is None:
+                problems.append(f"{module.__name__}: missing __all__")
+                continue
+            for name in exported:
+                member = getattr(module, name, None)
+                if member is None:
+                    problems.append(f"{module.__name__}.{name}: in __all__ but undefined")
+                    continue
+                if not (inspect.isclass(member) or inspect.isfunction(member)):
+                    continue  # constants and aliases need no docstring
+                if not (inspect.getdoc(member) or "").strip():
+                    problems.append(f"{module.__name__}.{name}: missing docstring")
+                if inspect.isclass(member):
+                    problems.extend(_check_methods(module.__name__, member))
+    return problems
+
+
+def _check_methods(module_name: str, cls: type) -> list:
+    problems = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        func = None
+        if inspect.isfunction(member):
+            func = member
+        elif isinstance(member, (classmethod, staticmethod)):
+            func = member.__func__
+        elif isinstance(member, property):
+            func = member.fget
+        if func is None:
+            continue
+        if not (inspect.getdoc(func) or "").strip():
+            problems.append(f"{module_name}.{cls.__name__}.{name}: missing docstring")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Intra-doc links
+# ----------------------------------------------------------------------
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = re.sub(r"[`*]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set:
+    return {_slugify(match) for match in _HEADING_RE.findall(markdown)}
+
+
+def check_links() -> list:
+    problems = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            problems.append(f"{doc.relative_to(REPO_ROOT)}: file missing")
+            continue
+        text = doc.read_text()
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (doc.parent / path_part).resolve() if path_part else doc
+            label = f"{doc.relative_to(REPO_ROOT)} -> {target}"
+            if path_part and not resolved.exists():
+                problems.append(f"{label}: target does not exist")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved.read_text()):
+                    problems.append(f"{label}: no heading for anchor #{fragment}")
+    return problems
+
+
+def main() -> int:
+    problems = check_docstrings() + check_links()
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("check_docs: all docstrings present, all intra-doc links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
