@@ -24,13 +24,12 @@ Set ``REPRO_BENCH_RECORD=1`` to append the measured rates to
 benchmark-trajectory section tracks.
 """
 
-import json
 import os
 import time
 
 import pytest
 
-from conftest import emit
+from conftest import emit, record_sample
 from repro.core.mapping import Mapping
 from repro.core.objective import cdcm_objective, cwm_objective
 from repro.eval.parallel import ProcessPoolBackend, SerialBackend
@@ -72,16 +71,7 @@ def _run_ga(objective, initial, backend):
 
 
 def _record(payload):
-    if os.environ.get("REPRO_BENCH_RECORD", "0") in ("0", "", "false"):
-        return
-    path = "BENCH_parallel.json"
-    history = []
-    if os.path.exists(path):
-        with open(path) as handle:
-            history = json.load(handle)
-    history.append(payload)
-    with open(path, "w") as handle:
-        json.dump(history, handle, indent=2)
+    record_sample("BENCH_parallel.json", payload)
 
 
 @pytest.mark.benchmark(group="parallel-identity")

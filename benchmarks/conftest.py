@@ -16,6 +16,7 @@ Two effort levels are supported:
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -69,3 +70,23 @@ def emit(title: str, body: str) -> None:
     """Print a regenerated artefact in a recognisable block."""
     line = "=" * 72
     print(f"\n{line}\n{title}\n{line}\n{body}\n")
+
+
+def record_sample(path: str, payload: dict) -> None:
+    """Append one benchmark sample to a ``BENCH_*.json`` trajectory file.
+
+    No-op unless ``REPRO_BENCH_RECORD=1``: the CI benchmark-trajectory job
+    sets the flag, runs the recording benches and uploads the ``BENCH_*``
+    files as artifacts, so every PR appends one sample per bench to the perf
+    trajectory.  Locally the same flag produces the files in the working
+    directory (they are git-ignored).
+    """
+    if os.environ.get("REPRO_BENCH_RECORD", "0") in ("0", "", "false"):
+        return
+    history = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            history = json.load(handle)
+    history.append(payload)
+    with open(path, "w") as handle:
+        json.dump(history, handle, indent=2)

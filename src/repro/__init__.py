@@ -38,8 +38,13 @@ from repro.energy import (
 )
 from repro.core import (
     Mapping,
+    MetricVector,
     CwmEvaluator,
     CdcmEvaluator,
+    CountingObjective,
+    ScalarisedObjective,
+    cwm_objective,
+    cdcm_objective,
     FRWFramework,
     MappingOutcome,
 )
@@ -70,6 +75,10 @@ from repro.analysis import (
     compare_models,
     generate_table1,
     generate_table2,
+    ParetoPoint,
+    non_dominated,
+    pareto_front,
+    weight_sweep_front,
 )
 
 __version__ = "1.0.0"
@@ -94,8 +103,13 @@ __all__ = [
     "TECH_PAPER_EXAMPLE",
     "EnergyBreakdown",
     "Mapping",
+    "MetricVector",
     "CwmEvaluator",
     "CdcmEvaluator",
+    "CountingObjective",
+    "ScalarisedObjective",
+    "cwm_objective",
+    "cdcm_objective",
     "FRWFramework",
     "MappingOutcome",
     "RouteTable",
@@ -120,5 +134,9 @@ __all__ = [
     "compare_models",
     "generate_table1",
     "generate_table2",
+    "ParetoPoint",
+    "non_dominated",
+    "pareto_front",
+    "weight_sweep_front",
     "__version__",
 ]

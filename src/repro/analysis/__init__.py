@@ -9,6 +9,9 @@ figure regeneration code, ablations and report writers.
   the ASCII timing diagrams of Figures 4 and 5;
 * :mod:`repro.analysis.ablation` — sensitivity studies (routing algorithm,
   leakage scaling, SA effort, local-link serialisation);
+* :mod:`repro.analysis.pareto` — energy/time Pareto fronts over the
+  vector-valued objective core (non-dominated filtering, weight-sweep front
+  construction off one pricing pass, front export for figures);
 * :mod:`repro.analysis.report` — markdown report writers used to refresh
   EXPERIMENTS.md.
 """
@@ -40,9 +43,31 @@ from repro.analysis.ablation import (
     annealing_effort_ablation,
     local_link_ablation,
 )
+from repro.analysis.pareto import (
+    DEFAULT_FRONT_KEYS,
+    ParetoPoint,
+    WeightSweepResult,
+    dominates,
+    front_to_rows,
+    metric_points,
+    non_dominated,
+    pareto_front,
+    weight_grid,
+    weight_sweep_front,
+)
 from repro.analysis.report import comparison_to_markdown, table_rows_to_markdown
 
 __all__ = [
+    "DEFAULT_FRONT_KEYS",
+    "ParetoPoint",
+    "WeightSweepResult",
+    "dominates",
+    "front_to_rows",
+    "metric_points",
+    "non_dominated",
+    "pareto_front",
+    "weight_grid",
+    "weight_sweep_front",
     "ComparisonConfig",
     "ModelComparison",
     "TechnologyResult",

@@ -1,0 +1,371 @@
+"""Pareto-front construction over vector-valued objectives.
+
+The paper's CWM/CDCM comparison is a two-criterion trade-off — communication
+energy vs. execution time — that the legacy scalar objectives collapsed to a
+single pre-weighted float.  With the vector-objective core
+(:mod:`repro.core.metrics`, :class:`~repro.eval.context.EvaluationContext`
+memoising component vectors) the trade-off becomes first-class, and this
+module turns priced candidate sets into energy/time fronts:
+
+* :func:`non_dominated` — filter a point set down to its Pareto front;
+* :func:`pareto_front` — price a candidate set **once** through
+  ``evaluate_metrics_batch`` and filter it (the exhaustive front of the set);
+* :func:`weight_sweep_front` — sweep K scalarisation weight vectors over
+  the same single pricing pass: each weight vector selects its argmin
+  candidate off the memoised vectors, so the sweep costs K·O(n) dot
+  products, **not** K pricing passes (the acceptance property pinned by
+  ``tests/test_pareto.py``);
+* :func:`front_to_rows` — export a front as plain dict rows for figures,
+  CSV/JSON writers and the markdown report helpers.
+
+Any vector-capable pricing source works: an
+:class:`~repro.eval.context.EvaluationContext`, a
+:class:`~repro.core.objective.CountingObjective` built by
+:func:`~repro.core.objective.cwm_objective` /
+:func:`~repro.core.objective.cdcm_objective`, or a
+:class:`~repro.core.objective.ScalarisedObjective` view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mapping import Mapping
+from repro.core.metrics import MetricVector
+from repro.utils.errors import ConfigurationError
+
+#: The paper's trade-off: CDCM total energy vs. execution time.
+DEFAULT_FRONT_KEYS: Tuple[str, ...] = ("energy", "time")
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One priced candidate of a front.
+
+    Attributes
+    ----------
+    mapping:
+        The candidate core-to-tile assignment.
+    metrics:
+        Its named component vector (one pricing pass, shared memo).
+    weights:
+        The scalarisation weight vector that selected this point, when it
+        came out of a weight sweep; ``None`` for plain priced/filtered
+        points.
+    """
+
+    mapping: Mapping
+    metrics: MetricVector
+    weights: Optional[Dict[str, float]] = None
+
+    def value(self, name: str) -> float:
+        """One metric component of this point, by name."""
+        return self.metrics[name]
+
+
+@dataclass(frozen=True)
+class WeightSweepResult:
+    """Outcome of :func:`weight_sweep_front`.
+
+    Attributes
+    ----------
+    points:
+        Every candidate, priced (input order preserved).
+    selections:
+        The per-weight-vector winners, in sweep order, each carrying the
+        weight dict that selected it (duplicated winners appear once per
+        weight vector that picked them).
+    front:
+        The non-dominated subset of the distinct winners, sorted by the
+        first front key.
+    """
+
+    points: List[ParetoPoint]
+    selections: List[ParetoPoint]
+    front: List[ParetoPoint]
+
+
+def dominates(
+    a: MetricVector, b: MetricVector, keys: Sequence[str] = DEFAULT_FRONT_KEYS
+) -> bool:
+    """True when *a* Pareto-dominates *b* over *keys* (all minimised)."""
+    return a.dominates(b, keys)
+
+
+def non_dominated(
+    points: Sequence[ParetoPoint], keys: Sequence[str] = DEFAULT_FRONT_KEYS
+) -> List[ParetoPoint]:
+    """Filter a point set down to its Pareto front.
+
+    A point survives when no other point strictly dominates it; among points
+    with *identical* key values only the first (in input order) is kept, so
+    the front never carries duplicates of one trade-off position.
+
+    Parameters
+    ----------
+    points:
+        Priced candidates.
+    keys:
+        Metric names the dominance check ranges over.
+
+    Returns
+    -------
+    list of ParetoPoint
+        The front, sorted ascending by the first key (ties by the
+        remaining keys).
+    """
+    keys = tuple(keys)
+    if not keys:
+        raise ConfigurationError("non_dominated requires at least one key")
+    survivors: List[ParetoPoint] = []
+    seen_positions: set = set()
+    for candidate in points:
+        position = tuple(candidate.metrics[key] for key in keys)
+        if position in seen_positions:
+            continue
+        if any(dominates(other.metrics, candidate.metrics, keys) for other in points):
+            continue
+        seen_positions.add(position)
+        survivors.append(candidate)
+    survivors.sort(key=lambda point: tuple(point.metrics[key] for key in keys))
+    return survivors
+
+
+def metric_points(
+    objective: Any,
+    candidates: Sequence[Mapping],
+    backend: Any = None,
+) -> List[ParetoPoint]:
+    """Price a candidate set in one ``evaluate_metrics_batch`` pass.
+
+    Parameters
+    ----------
+    objective:
+        Any vector-capable pricing source (context, counting objective,
+        scalarised view).
+    candidates:
+        Mappings to price; duplicates hit the shared memo.
+    backend:
+        Optional :class:`~repro.eval.parallel.BatchBackend` for the misses.
+
+    Returns
+    -------
+    list of ParetoPoint
+        One point per candidate, in input order.
+    """
+    source = _vector_source(objective)
+    vectors = source.evaluate_metrics_batch(candidates, backend=backend)
+    return [
+        ParetoPoint(mapping=mapping, metrics=vector)
+        for mapping, vector in zip(candidates, vectors)
+    ]
+
+
+def pareto_front(
+    objective: Any,
+    candidates: Sequence[Mapping],
+    keys: Sequence[str] = DEFAULT_FRONT_KEYS,
+    backend: Any = None,
+) -> List[ParetoPoint]:
+    """The non-dominated front of a candidate set, priced in one pass.
+
+    This is the *exhaustive* front of the set: every candidate is priced
+    (memo-deduplicated) and filtered with :func:`non_dominated`.  Weight
+    sweeps (:func:`weight_sweep_front`) can only ever find a subset of this
+    front — the supported points.
+    """
+    return non_dominated(metric_points(objective, candidates, backend=backend), keys)
+
+
+def weight_grid(
+    count: int, keys: Sequence[str] = DEFAULT_FRONT_KEYS
+) -> List[Dict[str, float]]:
+    """*count* convex weight combinations between two metric keys.
+
+    The grid spans the closed interval — the first entry weights only
+    ``keys[0]``, the last only ``keys[1]`` — so single-metric optima anchor
+    the sweep's ends.
+
+    Parameters
+    ----------
+    count:
+        Number of weight vectors (at least 2).
+    keys:
+        Exactly two metric names.
+
+    Returns
+    -------
+    list of dict
+        ``[{keys[0]: 1 - t, keys[1]: t} for t in linspace(0, 1, count)]``.
+    """
+    keys = tuple(keys)
+    if len(keys) != 2:
+        raise ConfigurationError(
+            f"weight_grid spans exactly two metric keys, got {keys!r}"
+        )
+    if count < 2:
+        raise ConfigurationError(f"count must be at least 2, got {count}")
+    grid: List[Dict[str, float]] = []
+    for index in range(count):
+        t = index / (count - 1)
+        grid.append({keys[0]: 1.0 - t, keys[1]: t})
+    return grid
+
+
+def weight_sweep_front(
+    objective: Any,
+    candidates: Sequence[Mapping],
+    weights: Any = 16,
+    keys: Sequence[str] = DEFAULT_FRONT_KEYS,
+    normalise: bool = True,
+    backend: Any = None,
+) -> WeightSweepResult:
+    """Sweep scalarisation weight vectors over one pricing pass.
+
+    All candidates are priced (or recalled from the shared memo) exactly
+    once; every weight vector then selects its argmin candidate by a cheap
+    dot product over the memoised component vectors.  Sweeping 16 weight
+    vectors therefore performs **at most one full pricing pass per unique
+    candidate** — the memoisation property the vector-objective redesign
+    exists for.
+
+    Parameters
+    ----------
+    objective:
+        Any vector-capable pricing source (context, counting objective,
+        scalarised view).
+    candidates:
+        Mappings to sweep over (e.g. a GA population, a random sample, or
+        the full enumeration on small NoCs).
+    weights:
+        Either an integer (build that many convex combinations over *keys*
+        with :func:`weight_grid`) or an explicit sequence of weight dicts.
+    keys:
+        Metric names of the trade-off (default energy vs. time).
+    normalise:
+        Rescale each key to ``[0, 1]`` over the candidate set before
+        scalarising, so weights express *relative preference* instead of
+        depending on the pJ-vs-ns magnitude gap.  Selection only — the
+        reported metric values stay raw.
+    backend:
+        Optional :class:`~repro.eval.parallel.BatchBackend` for the pricing
+        misses.
+
+    Returns
+    -------
+    WeightSweepResult
+        Priced points, per-weight selections, and the non-dominated front
+        of the distinct selections.
+    """
+    keys = tuple(keys)
+    if isinstance(weights, int):
+        weights = weight_grid(weights, keys)
+    weight_list = [dict(vector) for vector in weights]
+    # Validate the sweep spec before the (potentially expensive) pricing
+    # pass, so a typo'd weight name cannot waste minutes of CDCM replays.
+    for weight in weight_list:
+        unknown = [key for key in weight if key not in keys]
+        if unknown:
+            raise ConfigurationError(
+                f"sweep weights name metrics {unknown!r} outside the front "
+                f"keys {keys!r}"
+            )
+    points = metric_points(objective, candidates, backend=backend)
+    if not points:
+        return WeightSweepResult(points=[], selections=[], front=[])
+
+    # Per-key affine rescaling for selection (raw values when disabled or
+    # degenerate).
+    scales: Dict[str, Tuple[float, float]] = {}
+    for key in keys:
+        values = [point.metrics[key] for point in points]
+        low, high = min(values), max(values)
+        span = high - low
+        if normalise and span > 0.0:
+            scales[key] = (low, span)
+        else:
+            scales[key] = (0.0, 1.0)
+
+    def score(point: ParetoPoint, weight: Dict[str, float]) -> float:
+        total = 0.0
+        for key, factor in weight.items():
+            if factor == 0.0:
+                continue
+            low, span = scales[key]
+            total += factor * ((point.metrics[key] - low) / span)
+        return total
+
+    selections: List[ParetoPoint] = []
+    for weight in weight_list:
+        winner = min(
+            range(len(points)), key=lambda index: (score(points[index], weight), index)
+        )
+        selections.append(replace(points[winner], weights=dict(weight)))
+
+    distinct: List[ParetoPoint] = []
+    seen_mappings: set = set()
+    for selection in selections:
+        if selection.mapping in seen_mappings:
+            continue
+        seen_mappings.add(selection.mapping)
+        distinct.append(selection)
+    return WeightSweepResult(
+        points=points,
+        selections=selections,
+        front=non_dominated(distinct, keys),
+    )
+
+
+def front_to_rows(
+    points: Sequence[ParetoPoint], keys: Optional[Sequence[str]] = None
+) -> List[Dict[str, Any]]:
+    """Export front points as plain dict rows (figures, CSV/JSON writers).
+
+    Parameters
+    ----------
+    points:
+        Front (or any point list) to export.
+    keys:
+        Metric names to include; defaults to each point's full component
+        set.
+
+    Returns
+    -------
+    list of dict
+        One row per point: the mapping assignments, the selected metric
+        values, and the selecting weight vector when present.
+    """
+    rows: List[Dict[str, Any]] = []
+    for point in points:
+        names = tuple(keys) if keys is not None else point.metrics.names
+        row: Dict[str, Any] = {
+            "mapping": dict(sorted(point.mapping.assignments().items())),
+        }
+        for name in names:
+            row[name] = point.metrics[name]
+        if point.weights is not None:
+            row["weights"] = dict(point.weights)
+        rows.append(row)
+    return rows
+
+
+def _vector_source(objective: Any):
+    """Resolve the vector-pricing source behind an objective-ish argument."""
+    from repro.core.objective import resolve_vector_source
+
+    return resolve_vector_source(objective)
+
+
+__all__ = [
+    "DEFAULT_FRONT_KEYS",
+    "ParetoPoint",
+    "WeightSweepResult",
+    "dominates",
+    "non_dominated",
+    "metric_points",
+    "pareto_front",
+    "weight_grid",
+    "weight_sweep_front",
+    "front_to_rows",
+]

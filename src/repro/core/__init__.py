@@ -7,8 +7,12 @@
 * :class:`~repro.core.cdcm.CdcmEvaluator` — the communication dependence and
   computation model: replays the CDCG, obtaining execution time, contention
   and total (static + dynamic) energy (equations 4–10);
+* :mod:`~repro.core.metrics` — named :class:`~repro.core.metrics.MetricVector`
+  components and scalarisation weights, the vector-valued objective core;
 * :mod:`~repro.core.objective` — objective-function adapters binding an
-  application and platform so search engines only see ``mapping -> cost``;
+  application and platform so search engines only see ``mapping -> cost``,
+  plus :class:`~repro.core.objective.ScalarisedObjective` weight views over
+  a shared memo;
 * :class:`~repro.core.framework.FRWFramework` — the front-end tying an
   application, a platform, a model (CWM/CDCM) and a search method (exhaustive
   search or simulated annealing) together, mirroring the paper's FRW
@@ -16,10 +20,19 @@
 """
 
 from repro.core.mapping import Mapping
+from repro.core.metrics import (
+    CDCM_METRIC_NAMES,
+    CWM_METRIC_NAMES,
+    MetricVector,
+    scalarisation_weights,
+    validate_weights,
+)
 from repro.core.cwm import CwmEvaluator, CwmReport
 from repro.core.cdcm import CdcmEvaluator, CdcmReport
 from repro.core.objective import (
     CountingObjective,
+    ScalarisedObjective,
+    VectorObjective,
     cwm_objective,
     cdcm_objective,
 )
@@ -27,11 +40,18 @@ from repro.core.framework import FRWFramework, MappingOutcome
 
 __all__ = [
     "Mapping",
+    "MetricVector",
+    "CWM_METRIC_NAMES",
+    "CDCM_METRIC_NAMES",
+    "scalarisation_weights",
+    "validate_weights",
     "CwmEvaluator",
     "CwmReport",
     "CdcmEvaluator",
     "CdcmReport",
     "CountingObjective",
+    "ScalarisedObjective",
+    "VectorObjective",
     "cwm_objective",
     "cdcm_objective",
     "FRWFramework",

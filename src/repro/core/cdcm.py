@@ -20,6 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
+from repro.core.metrics import (
+    CDCM_METRIC_NAMES,
+    MetricVector,
+    scalarisation_weights,
+)
 from repro.energy.technology import Technology
 from repro.energy.totals import EnergyBreakdown, total_energy_cdcm
 from repro.graphs.cdcg import CDCG
@@ -70,6 +75,23 @@ class CdcmReport:
     def total_contention_delay(self) -> float:
         return self.schedule.total_contention_delay()
 
+    def metric_vector(self) -> MetricVector:
+        """Named component vector of this evaluation (the vector-objective view).
+
+        Components follow :data:`~repro.core.metrics.CDCM_METRIC_NAMES`:
+        total energy ``ENoC``, execution time ``texec``, and the
+        dynamic/static decomposition of the energy term.
+        """
+        return MetricVector(
+            CDCM_METRIC_NAMES,
+            (
+                self.energy.total,
+                self.schedule.execution_time,
+                self.energy.dynamic,
+                self.energy.static,
+            ),
+        )
+
 
 #: Metrics a CDCM objective can minimise.
 _METRICS = ("energy", "time", "weighted")
@@ -116,6 +138,7 @@ class CdcmEvaluator:
         self.energy_weight = energy_weight
         self.time_weight = time_weight
         self.include_local = include_local
+        self.weights = scalarisation_weights(metric, energy_weight, time_weight)
         self._scheduler = CdcmScheduler(platform, route_table=route_table)
 
     @property
@@ -127,16 +150,21 @@ class CdcmEvaluator:
     # Objective function
     # ------------------------------------------------------------------
     def cost(self, cdcg: CDCG, mapping: Union[Mapping, Dict[str, int]]) -> float:
-        """Scalar cost of a mapping under the configured metric."""
-        report = self.evaluate(cdcg, mapping)
-        if self.metric == "energy":
-            return report.total_energy
-        if self.metric == "time":
-            return report.execution_time
-        return (
-            self.energy_weight * report.total_energy
-            + self.time_weight * report.execution_time
+        """Scalar cost of a mapping under the configured metric.
+
+        Derived from :meth:`metrics` by the evaluator's ``weights`` view
+        (see :func:`~repro.core.metrics.scalarisation_weights`) —
+        bit-identical to the legacy per-metric dispatch.
+        """
+        return self.metrics(cdcg, mapping).weighted_sum(
+            self.weights, strict=False
         )
+
+    def metrics(
+        self, cdcg: CDCG, mapping: Union[Mapping, Dict[str, int]]
+    ) -> MetricVector:
+        """Named component vector of a mapping (one replay, every metric)."""
+        return self.evaluate(cdcg, mapping).metric_vector()
 
     # ------------------------------------------------------------------
     # Full report

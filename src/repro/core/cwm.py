@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Union
 
+from repro.core.metrics import CWM_METRIC_NAMES, MetricVector
 from repro.energy.totals import EnergyBreakdown
 from repro.eval.route_table import RouteTable, get_route_table
 from repro.graphs.cwg import CWG
@@ -68,6 +69,14 @@ class CwmReport:
             execution_time=None,
             technology_name=technology_name,
         )
+
+    def metric_vector(self) -> MetricVector:
+        """Named component vector of this evaluation (the vector-objective view).
+
+        CWM knows dynamic energy only, so the vector has the single
+        :data:`~repro.core.metrics.CWM_METRIC_NAMES` component.
+        """
+        return MetricVector(CWM_METRIC_NAMES, (self.dynamic_energy,))
 
     def router_bits(self, tile: int) -> int:
         """Cost variable of the router at *tile* (0 if never crossed)."""

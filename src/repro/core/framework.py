@@ -25,7 +25,13 @@ from typing import Dict, Optional
 from repro.core.cdcm import CdcmReport
 from repro.core.cwm import CwmEvaluator
 from repro.core.mapping import Mapping
-from repro.core.objective import CountingObjective, cdcm_objective, cwm_objective
+from repro.core.metrics import MetricVector
+from repro.core.objective import (
+    CountingObjective,
+    ScalarisedObjective,
+    cdcm_objective,
+    cwm_objective,
+)
 from repro.energy.technology import Technology
 from repro.eval.context import CdcmEvaluationContext, CwmEvaluationContext
 from repro.eval.route_table import get_route_table
@@ -133,8 +139,8 @@ class FRWFramework:
             )
         return self._cwm_context if model == "cwm" else self._cdcm_context
 
-    def objective(self, model: str) -> CountingObjective:
-        """The counting objective of one model, bound to this application.
+    def objective(self, model: str, weights: Optional[Dict[str, float]] = None):
+        """An objective of one model, bound to this application.
 
         Each call builds a fresh evaluation context over the framework's
         shared route table: searches reuse the precomputed routes but start
@@ -142,16 +148,34 @@ class FRWFramework:
         evaluation effort (the Section 5 quantity) rather than whatever
         earlier runs happened to warm.  Use :meth:`evaluation_context` for
         the long-lived shared contexts instead.
+
+        Parameters
+        ----------
+        model:
+            ``"cwm"`` or ``"cdcm"``.
+        weights:
+            Optional ``{metric_name: weight}`` scalarisation.  When omitted a
+            :class:`~repro.core.objective.CountingObjective` with the model's
+            default weight view is returned (bit-identical to the legacy
+            scalar objective); when given, a
+            :class:`~repro.core.objective.ScalarisedObjective` view over the
+            fresh context is returned instead — derive more views from its
+            :meth:`~repro.core.objective.ScalarisedObjective.with_weights`
+            to sweep weight vectors off one shared memo.
         """
         if model == "cwm":
             context = CwmEvaluationContext(
                 self.cwg, self.platform, route_table=self.route_table
             )
+            if weights is not None:
+                return ScalarisedObjective(context, weights)
             return cwm_objective(self.cwg, self.platform, context=context)
         if model == "cdcm":
             context = CdcmEvaluationContext(
                 self.cdcg, self.platform, route_table=self.route_table
             )
+            if weights is not None:
+                return ScalarisedObjective(context, weights)
             return cdcm_objective(self.cdcg, self.platform, context=context)
         raise ConfigurationError(
             f"unknown model {model!r}; expected one of {_MODELS}"
@@ -251,6 +275,20 @@ class FRWFramework:
         the context memo instead of being re-priced.
         """
         return self.evaluation_context(model).evaluate_batch(mappings)
+
+    def evaluate_metrics_batch(self, mappings, model: str = "cdcm"):
+        """Named metric vectors of several mappings under one model's context.
+
+        The vector twin of :meth:`evaluate_batch` — one pricing pass per
+        unique candidate, shared with every scalarisation view over the same
+        context.  This is the entry point Pareto tooling
+        (:mod:`repro.analysis.pareto`) sweeps weight vectors through.
+        """
+        return self.evaluation_context(model).evaluate_metrics_batch(mappings)
+
+    def metrics(self, mapping: Mapping, model: str = "cdcm") -> MetricVector:
+        """Named metric vector of one mapping under one model's shared context."""
+        return self.evaluation_context(model).metrics(mapping)
 
 
 __all__ = ["FRWFramework", "MappingOutcome"]

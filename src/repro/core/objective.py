@@ -1,31 +1,53 @@
-"""Objective-function adapters.
+"""Objective-function adapters over the vector-valued evaluation engine.
 
 Search engines (:mod:`repro.search`) explore the space of
 :class:`~repro.core.mapping.Mapping` objects and only ever see a callable
-``mapping -> cost``.  The helpers here bind an application graph, a platform
-and a model (CWM or CDCM) into such a callable — backed by the shared
-evaluation engine of :mod:`repro.eval` (precomputed route tables, memoised
-costs, incremental swap deltas) — and wrap it with evaluation counting so the
-CPU-cost comparison of Section 5 (CWM vs CDCM evaluation effort) can be
-reported.
+``mapping -> cost``.  Since the vector-objective redesign that scalar is a
+*view*: evaluators produce named :class:`~repro.core.metrics.MetricVector`
+components (energy terms, CDCM makespan), the shared
+:class:`~repro.eval.context.EvaluationContext` memoises the vectors, and
+scalars are derived by applying a weight vector — so K scalarisations of one
+candidate cost one pricing pass, not K.
+
+Three adapters bind that machinery into the engine-facing contract:
+
+* :class:`CountingObjective` — the legacy-compatible wrapper produced by
+  :func:`cwm_objective` / :func:`cdcm_objective`; scalarises with the bound
+  context's own weight view (bit-identical to the pre-vector objectives) and
+  counts evaluation effort for the Section 5 CPU-cost comparison;
+* :class:`ScalarisedObjective` — a lightweight weight-vector view over a
+  shared context.  Several views over one context share its memo, which is
+  what makes Pareto weight sweeps (:mod:`repro.analysis.pareto`) essentially
+  free after the first pricing pass;
+* :class:`VectorObjective` — the structural protocol both adapters and the
+  contexts themselves satisfy (``metric_names`` / ``metrics`` /
+  ``evaluate_metrics_batch``), the seam Pareto tooling and custom
+  multi-objective drivers program against.
 
 Delta-aware engines (simulated annealing, greedy refinement) additionally
-call :meth:`CountingObjective.delta` when ``supports_delta`` is True, and
-population-based engines (genetic, exhaustive) call
-:meth:`CountingObjective.evaluate_batch` when ``supports_batch`` is True; the
-wrapper forwards both to the bound
-:class:`~repro.eval.context.EvaluationContext` — batches optionally through a
-:class:`~repro.eval.parallel.BatchBackend` — and keeps separate
-``delta_evaluations`` counters so full, incremental and bulk pricing effort
-stay distinguishable in reports.
+call ``delta`` when ``supports_delta`` is True, and population-based engines
+(genetic, exhaustive) call ``evaluate_batch`` when ``supports_batch`` is
+True; both adapters forward these to the bound context — batches optionally
+through a :class:`~repro.eval.parallel.BatchBackend`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 from repro.core.mapping import Mapping
+from repro.core.metrics import MetricVector, validate_weights
 from repro.eval.context import (
     CacheInfo,
     CdcmEvaluationContext,
@@ -36,9 +58,81 @@ from repro.eval.context import (
 from repro.graphs.cdcg import CDCG
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
+from repro.utils.errors import ConfigurationError
 
 #: The signature every search engine expects.
 ObjectiveFunction = Callable[[Mapping], float]
+
+
+@runtime_checkable
+class VectorObjective(Protocol):
+    """Structural protocol of vector-valued pricing sources.
+
+    Satisfied by :class:`~repro.eval.context.EvaluationContext` subclasses,
+    :class:`CountingObjective` (when bound to a context) and
+    :class:`ScalarisedObjective`.  Pareto tooling and weight-sweep drivers
+    program against this seam and never care which concrete adapter they
+    were handed.
+    """
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Component names produced by :meth:`metrics`, in accumulation order."""
+        ...
+
+    def metrics(self, mapping: Union[Mapping, Dict[str, int]]) -> MetricVector:
+        """Named component vector of one mapping (memoised by the source)."""
+        ...
+
+    def evaluate_metrics_batch(
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend=None,
+    ) -> List[MetricVector]:
+        """Component vectors of several mappings in one pricing pass."""
+        ...
+
+
+def resolve_vector_source(source):
+    """The vector-capable pricing source behind an objective-ish argument.
+
+    The single resolution rule shared by :class:`ScalarisedObjective`,
+    :mod:`repro.analysis.pareto` and anything else that needs the vector
+    half of the protocol: prefer the object's bound ``context`` when it
+    satisfies :class:`VectorObjective`, fall back to the object itself, and
+    fail loudly otherwise (plain scalar callables cannot price vectors).
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.eval.context.EvaluationContext`, an objective
+        exposing one through a ``context`` attribute, or any other
+        :class:`VectorObjective`.
+
+    Returns
+    -------
+    VectorObjective
+        The resolved source.
+
+    Raises
+    ------
+    ConfigurationError
+        When *source* exposes no named metric components.
+    """
+    def _quacks(candidate) -> bool:
+        return bool(getattr(candidate, "metric_names", None)) and callable(
+            getattr(candidate, "metrics", None)
+        )
+
+    context = getattr(source, "context", None)
+    if context is not None and _quacks(context):
+        return context
+    if _quacks(source):
+        return source
+    raise ConfigurationError(
+        f"{source!r} does not expose named metric components; pass an "
+        f"EvaluationContext or an objective built by repro.core.objective"
+    )
 
 
 class CountingObjective:
@@ -53,7 +147,8 @@ class CountingObjective:
     context:
         Optional bound :class:`~repro.eval.context.EvaluationContext`; when
         present the wrapper advertises the context's delta and batch
-        capabilities to search engines.
+        capabilities to search engines and exposes the vector half of the
+        protocol (:meth:`metrics` / :meth:`evaluate_metrics_batch`).
 
     Attributes
     ----------
@@ -99,6 +194,11 @@ class CountingObjective:
         return self._context
 
     @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Component names of the bound context (empty for plain callables)."""
+        return self._context.metric_names if self._context is not None else ()
+
+    @property
     def supports_delta(self) -> bool:
         """True when :meth:`delta` returns exact incremental costs."""
         return self._context is not None and self._context.supports_delta
@@ -107,6 +207,38 @@ class CountingObjective:
     def supports_batch(self) -> bool:
         """True when :meth:`evaluate_batch` routes through a shared context."""
         return self._context is not None
+
+    def metrics(self, mapping: Union[Mapping, Dict[str, int]]) -> MetricVector:
+        """Named component vector of *mapping* through the bound context.
+
+        A passthrough that shares the context memo and deliberately leaves
+        the Section 5 effort counters untouched — they keep mirroring the
+        scalar pricing effort exactly as the pre-vector wrapper did.
+        """
+        return self._require_context("price metric vectors").metrics(mapping)
+
+    def evaluate_metrics_batch(
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend=None,
+    ) -> List[MetricVector]:
+        """Component vectors of several candidates through the bound context.
+
+        Uncounted passthrough, like :meth:`metrics`.
+        """
+        return self._require_context(
+            "price metric vectors"
+        ).evaluate_metrics_batch(mappings, backend=backend)
+
+    def scalarised(
+        self, weights: Dict[str, float], name: Optional[str] = None
+    ) -> "ScalarisedObjective":
+        """A :class:`ScalarisedObjective` view sharing this objective's context."""
+        return ScalarisedObjective(
+            self._require_context("derive scalarisation views"),
+            weights,
+            name=name,
+        )
 
     def evaluate_batch(
         self,
@@ -129,29 +261,21 @@ class CountingObjective:
         list of float
             One cost per candidate, bit-identical to per-candidate calls.
         """
-        if self._context is None:
-            raise NotImplementedError(
-                f"objective {self.name!r} has no evaluation context and cannot "
-                f"price batches; call it per mapping instead"
-            )
+        context = self._require_context("price batches")
         items = list(mappings)
         start = time.perf_counter()
         try:
-            return self._context.evaluate_batch(items, backend=backend)
+            return context.evaluate_batch(items, backend=backend)
         finally:
             self.elapsed += time.perf_counter() - start
             self.evaluations += len(items)
 
     def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
         """Exact cost change of ``mapping.swap_tiles(tile_a, tile_b)``."""
-        if self._context is None:
-            raise NotImplementedError(
-                f"objective {self.name!r} has no evaluation context and cannot "
-                f"price incremental moves"
-            )
+        context = self._require_context("price incremental moves")
         start = time.perf_counter()
         try:
-            return self._context.delta(mapping, tile_a, tile_b)
+            return context.delta(mapping, tile_a, tile_b)
         finally:
             self.elapsed += time.perf_counter() - start
             self.delta_evaluations += 1
@@ -166,11 +290,201 @@ class CountingObjective:
         self.delta_evaluations = 0
         self.elapsed = 0.0
 
+    def _require_context(self, action: str) -> EvaluationContext:
+        if self._context is None:
+            raise NotImplementedError(
+                f"objective {self.name!r} has no evaluation context and cannot "
+                f"{action}; call it per mapping instead"
+            )
+        return self._context
+
     def __repr__(self) -> str:
         return (
             f"CountingObjective(name={self.name!r}, evaluations={self.evaluations}, "
             f"elapsed={self.elapsed:.3f}s)"
         )
+
+
+class ScalarisedObjective:
+    """A weight-vector view over a shared vector-valued pricing source.
+
+    The view satisfies the full engine-facing objective contract (callable,
+    ``supports_delta`` / ``supports_batch``, ``delta``, ``evaluate_batch``)
+    but owns no pricing machinery of its own: every operation recalls (or
+    prices once) the memoised component vector from the underlying
+    :class:`~repro.eval.context.EvaluationContext` and applies this view's
+    weights.  Constructing K views over one context and pricing the same
+    candidates through all of them therefore costs **one** full pricing pass
+    per unique candidate — the property Pareto weight sweeps rely on, pinned
+    by ``tests/test_pareto.py``.
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.eval.context.EvaluationContext`, or any objective
+        exposing one through a ``context`` attribute
+        (:class:`CountingObjective` does).
+    weights:
+        ``{metric_name: weight}`` over the source's ``metric_names``; checked
+        by :func:`~repro.core.metrics.validate_weights`.
+    name:
+        Identifier used in reports; derived from the source and the weights
+        when omitted.
+
+    Attributes
+    ----------
+    evaluations, delta_evaluations, elapsed:
+        CountingObjective-style effort counters of this view (scalarisation
+        calls, not underlying pricing passes — those are visible in the
+        shared context's :meth:`cache_info`).
+    """
+
+    def __init__(
+        self,
+        source,
+        weights: Dict[str, float],
+        name: Optional[str] = None,
+    ) -> None:
+        context = resolve_vector_source(source)
+        self._context = context
+        self.weights = validate_weights(weights, tuple(context.metric_names))
+        if name is None:
+            label = ",".join(
+                f"{key}={value:g}" for key, value in self.weights.items()
+            )
+            name = f"{getattr(context, 'name', 'objective')}[{label}]"
+        self.name = name
+        self.evaluations = 0
+        self.delta_evaluations = 0
+        self.elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Engine-facing contract
+    # ------------------------------------------------------------------
+    def __call__(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        start = time.perf_counter()
+        try:
+            return self._context.metrics(mapping).weighted_sum(
+                self.weights, strict=False
+            )
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.evaluations += 1
+
+    @property
+    def context(self) -> EvaluationContext:
+        """The shared evaluation context the view scalarises over."""
+        return self._context
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Component names of the underlying context."""
+        return self._context.metric_names
+
+    @property
+    def supports_delta(self) -> bool:
+        """True when the context prices per-component swap deltas exactly."""
+        return bool(
+            self._context.supports_delta
+            and getattr(self._context, "supports_metric_delta", False)
+        )
+
+    @property
+    def supports_batch(self) -> bool:
+        """Always True — batches route through the shared context."""
+        return True
+
+    def evaluate_batch(
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend=None,
+    ) -> List[float]:
+        """Scalarise a batch of candidates off the shared vector memo.
+
+        Parameters
+        ----------
+        mappings:
+            Candidates to price, in order.
+        backend:
+            Optional :class:`~repro.eval.parallel.BatchBackend` override for
+            the misses.
+
+        Returns
+        -------
+        list of float
+            One weighted cost per candidate, in input order.
+        """
+        items = list(mappings)
+        start = time.perf_counter()
+        try:
+            vectors = self._context.evaluate_metrics_batch(
+                items, backend=backend
+            )
+            return [
+                vector.weighted_sum(self.weights, strict=False)
+                for vector in vectors
+            ]
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.evaluations += len(items)
+
+    def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
+        """Weighted exact cost change of swapping two tiles' contents."""
+        start = time.perf_counter()
+        try:
+            return self._context.metric_delta(
+                mapping, tile_a, tile_b
+            ).weighted_sum(self.weights, strict=False)
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.delta_evaluations += 1
+
+    # ------------------------------------------------------------------
+    # Vector passthrough (the VectorObjective protocol)
+    # ------------------------------------------------------------------
+    def metrics(self, mapping: Union[Mapping, Dict[str, int]]) -> MetricVector:
+        """Named component vector of *mapping* (shared-memo passthrough)."""
+        return self._context.metrics(mapping)
+
+    def evaluate_metrics_batch(
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend=None,
+    ) -> List[MetricVector]:
+        """Component vectors of several candidates (shared-memo passthrough)."""
+        return self._context.evaluate_metrics_batch(mappings, backend=backend)
+
+    def with_weights(
+        self, weights: Dict[str, float], name: Optional[str] = None
+    ) -> "ScalarisedObjective":
+        """A sibling view with different weights over the same context."""
+        return ScalarisedObjective(self._context, weights, name=name)
+
+    def cache_info(self) -> CacheInfo:
+        """Memo statistics of the shared context."""
+        return self._context.cache_info()
+
+    def reset(self) -> None:
+        """Zero this view's counters (the shared memo is left untouched)."""
+        self.evaluations = 0
+        self.delta_evaluations = 0
+        self.elapsed = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ScalarisedObjective(name={self.name!r}, "
+            f"weights={self.weights!r})"
+        )
+
+
+def _bind_context(context: EvaluationContext) -> CountingObjective:
+    """Bind a context into the counting wrapper every engine consumes.
+
+    The single place the legacy factories share: the wrapper scalarises with
+    the context's own weight view (``context.cost``), which keeps it
+    bit-identical to the pre-vector scalar objectives.
+    """
+    return CountingObjective(context.cost, name=context.name, context=context)
 
 
 def cwm_objective(
@@ -182,6 +496,10 @@ def cwm_objective(
 ) -> CountingObjective:
     """Objective minimising CWM dynamic energy (equation 3).
 
+    A compatibility shim over the vector core: the returned wrapper
+    scalarises the context's single ``dynamic_energy`` component with unit
+    weight, bit-identical to the pre-vector objective.
+
     Parameters
     ----------
     cwg:
@@ -191,7 +509,7 @@ def cwm_objective(
     include_local:
         Whether local core-router links contribute ``ECbit`` per bit.
     cache_size:
-        Size of the context's cost memo (0 disables it).
+        Size of the context's metric-vector memo (0 disables it).
     context:
         Optional pre-built context to share (with its route table, memo and
         batch backend) across objectives.
@@ -207,7 +525,7 @@ def cwm_objective(
         context = CwmEvaluationContext(
             cwg, platform, include_local=include_local, cache_size=cache_size
         )
-    return CountingObjective(context.cost, name=context.name, context=context)
+    return _bind_context(context)
 
 
 def cdcm_objective(
@@ -221,6 +539,14 @@ def cdcm_objective(
     context: Optional[CdcmEvaluationContext] = None,
 ) -> CountingObjective:
     """Objective minimising CDCM total energy (equation 10) or execution time.
+
+    A compatibility shim over the vector core: the legacy ``metric`` /
+    ``energy_weight`` / ``time_weight`` knobs are translated to a weight
+    view by :func:`~repro.core.metrics.scalarisation_weights` and applied to
+    the context's memoised component vectors, bit-identical to the
+    pre-vector objective.  For weight *sweeps* build one context and derive
+    :class:`ScalarisedObjective` views instead of constructing one objective
+    per weight vector.
 
     Parameters
     ----------
@@ -236,7 +562,7 @@ def cdcm_objective(
     include_local:
         Whether local core-router links contribute to dynamic energy.
     cache_size:
-        Size of the context's cost memo (0 disables it).
+        Size of the context's metric-vector memo (0 disables it).
     context:
         Optional pre-built context to share across objectives.
 
@@ -257,12 +583,15 @@ def cdcm_objective(
             include_local=include_local,
             cache_size=cache_size,
         )
-    return CountingObjective(context.cost, name=context.name, context=context)
+    return _bind_context(context)
 
 
 __all__ = [
     "ObjectiveFunction",
+    "VectorObjective",
     "CountingObjective",
+    "ScalarisedObjective",
+    "resolve_vector_source",
     "cwm_objective",
     "cdcm_objective",
 ]

@@ -1,21 +1,31 @@
 """Evaluation contexts — the dynamic half of the evaluation engine.
 
 An :class:`EvaluationContext` binds one application to one platform and is the
-single object every search engine prices mappings through.  It exposes three
-operations:
+single object every search engine prices mappings through.  Since the
+vector-objective redesign the memo stores **named component vectors**
+(:class:`~repro.core.metrics.MetricVector`) rather than scalars — the scalar
+operations are derived views, which is what lets a weight sweep re-scalarise
+an already-priced population for free.  The context exposes:
 
-* :meth:`EvaluationContext.cost` — the scalar objective value of a mapping,
-  memoised in an LRU keyed by the (immutable, hashable) mapping assignment so
-  revisited candidates are free;
+* :meth:`EvaluationContext.metrics` — the component vector of a mapping
+  (energy terms, CDCM makespan), memoised in an LRU keyed by the (immutable,
+  hashable) mapping assignment so revisited candidates are free;
+* :meth:`EvaluationContext.cost` — the scalar objective value, derived by
+  applying the context's :attr:`EvaluationContext.weights` to the memoised
+  vector (for the default weights this is bit-identical to the pre-vector
+  scalar memo);
 * :meth:`EvaluationContext.delta` — for contexts that support it, the *exact*
   incremental cost of swapping the contents of two tiles, computed from the
   edges incident to the moved cores only (O(degree) instead of O(edges));
-* :meth:`EvaluationContext.evaluate_batch` — bulk pricing of many candidates
-  (population-based engines, sweep drivers), sharing the same memo.  Where
-  the uncached candidates of a batch are priced is pluggable: pass a
-  :class:`~repro.eval.parallel.BatchBackend` (``backend=...`` at construction
-  or per call) to fan them out over a process pool; the default prices
-  inline.
+  :meth:`EvaluationContext.metric_delta` is the per-component variant
+  scalarisation views price swaps through;
+* :meth:`EvaluationContext.evaluate_batch` /
+  :meth:`EvaluationContext.evaluate_metrics_batch` — bulk pricing of many
+  candidates (population-based engines, sweep drivers), sharing the same
+  memo.  Where the uncached candidates of a batch are priced is pluggable:
+  pass a :class:`~repro.eval.parallel.BatchBackend` (``backend=...`` at
+  construction or per call) to fan them out over a process pool; the default
+  prices inline.
 
 Contexts are *picklable-light*: pickling keeps the application graph and the
 platform but drops the memo, the backend and the route table — the unpickling
@@ -56,6 +66,12 @@ from typing import (
 
 from repro.core.cdcm import CdcmEvaluator, CdcmReport
 from repro.core.mapping import Mapping
+from repro.core.metrics import (
+    CDCM_METRIC_NAMES,
+    CWM_METRIC_NAMES,
+    MetricVector,
+    scalarisation_weights,
+)
 from repro.energy.technology import Technology
 from repro.eval.route_table import (
     RouteTable,
@@ -86,17 +102,21 @@ class CacheInfo(NamedTuple):
 class EvaluationContext(ABC):
     """Shared pricing interface for all mapping search engines.
 
-    Subclasses implement :meth:`_compute_cost`; the base class provides the
-    LRU memo, batch evaluation (optionally fanned out over a
-    :class:`~repro.eval.parallel.BatchBackend`) and the (optional) delta
+    Subclasses implement :meth:`_compute_metrics` (the full per-mapping
+    component vector) and declare :attr:`metric_names` plus a default
+    :attr:`weights` view; the base class provides the LRU vector memo, the
+    derived scalar operations, batch evaluation (optionally fanned out over
+    a :class:`~repro.eval.parallel.BatchBackend`) and the (optional) delta
     protocol.  Engines discover delta support through the ``supports_delta``
     attribute — see :func:`repro.search.base.delta_callable` — and batch
-    support through ``supports_batch`` / :func:`repro.search.base.batch_callable`.
+    support through ``supports_batch`` / :func:`repro.search.base.batch_callable`;
+    Pareto tooling consumes the vector half of the protocol
+    (:meth:`metrics` / :meth:`evaluate_metrics_batch`).
 
     Parameters
     ----------
     cache_size:
-        Size of the cost memo (0 disables memoisation).
+        Size of the metric-vector memo (0 disables memoisation).
     backend:
         Default :class:`~repro.eval.parallel.BatchBackend` used by
         :meth:`evaluate_batch`; ``None`` prices batches inline.
@@ -107,6 +127,18 @@ class EvaluationContext(ABC):
 
     #: Whether :meth:`delta` returns exact incremental costs.
     supports_delta: bool = False
+
+    #: Whether :meth:`metric_delta` returns exact per-component deltas
+    #: (the capability scalarisation views need to re-weight swap pricing).
+    supports_metric_delta: bool = False
+
+    #: Names of the components :meth:`metrics` produces, in scalarisation
+    #: accumulation order.  Set by concrete subclasses.
+    metric_names: Tuple[str, ...] = ()
+
+    #: The weight view :meth:`cost` applies to memoised vectors.  Set by
+    #: concrete subclasses; treat as read-only.
+    weights: Dict[str, float] = {}
 
     def __init__(
         self,
@@ -119,7 +151,7 @@ class EvaluationContext(ABC):
             )
         self._cache_size = cache_size
         self._backend = backend
-        self._memo: "OrderedDict[Mapping, float]" = OrderedDict()
+        self._memo: "OrderedDict[Mapping, MetricVector]" = OrderedDict()
         self._hits = 0
         self._misses = 0
 
@@ -131,23 +163,53 @@ class EvaluationContext(ABC):
     # ------------------------------------------------------------------
     # Pricing
     # ------------------------------------------------------------------
-    def cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
-        """Scalar objective value of *mapping* (lower is better), memoised."""
+    def metrics(self, mapping: Union[Mapping, Dict[str, int]]) -> MetricVector:
+        """Named component vector of *mapping*, memoised.
+
+        This is the primitive every other pricing operation derives from:
+        :meth:`cost` scalarises the result with the context's
+        :attr:`weights`, and scalarisation views
+        (:class:`~repro.core.objective.ScalarisedObjective`) apply their own
+        weight vectors to the *same* memoised vectors — so sweeping K weight
+        vectors over an already-priced population costs zero additional
+        pricing passes.
+        """
         if self._cache_size == 0 or not isinstance(mapping, Mapping):
             self._misses += 1
-            return self._compute_cost(mapping)
+            return self._compute_metrics(mapping)
         memo = self._memo
-        value = memo.get(mapping)
-        if value is None:
+        vector = memo.get(mapping)
+        if vector is None:
             self._misses += 1
-            value = self._compute_cost(mapping)
-            memo[mapping] = value
+            vector = self._compute_metrics(mapping)
+            memo[mapping] = vector
             if len(memo) > self._cache_size:
                 memo.popitem(last=False)
         else:
             self._hits += 1
             memo.move_to_end(mapping)
-        return value
+        return vector
+
+    def cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        """Scalar objective value of *mapping* (lower is better), memoised.
+
+        Derived: the context's :attr:`weights` applied to
+        :meth:`metrics` — bit-identical to the pre-vector scalar memo for
+        the default single-metric weight views.
+        """
+        return self._scalarise(self.metrics(mapping))
+
+    def _scalarise(self, vector: MetricVector) -> float:
+        """Apply the context's weight view to a component vector."""
+        if not self.weights:
+            # An empty view would silently price every mapping at 0.0 — a
+            # subclass forgot to set self.weights in its constructor.
+            raise ConfigurationError(
+                f"{type(self).__name__} defines no scalarisation weights; "
+                f"set self.weights (a non-empty {{metric_name: weight}} "
+                f"dict over metric_names) in the constructor"
+            )
+        return vector.weighted_sum(self.weights, strict=False)
 
     def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
         """Exact cost change of ``mapping.swap_tiles(tile_a, tile_b)``.
@@ -161,6 +223,102 @@ class EvaluationContext(ABC):
             f"evaluation; check supports_delta before calling delta()"
         )
 
+    def metric_delta(
+        self, mapping: Mapping, tile_a: int, tile_b: int
+    ) -> MetricVector:
+        """Exact per-component change of ``mapping.swap_tiles(tile_a, tile_b)``.
+
+        Only available when ``supports_metric_delta`` is True; scalarisation
+        views use it to re-weight incremental swap pricing without a full
+        re-evaluation.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental metric-delta "
+            f"evaluation; check supports_metric_delta before calling "
+            f"metric_delta()"
+        )
+
+    def scalarised(
+        self, weights: Dict[str, float], name: Optional[str] = None
+    ):
+        """A :class:`~repro.core.objective.ScalarisedObjective` view over this context.
+
+        The view shares this context's memo: sweeping several weight vectors
+        re-uses one pricing pass per unique candidate.
+        """
+        from repro.core.objective import ScalarisedObjective
+
+        return ScalarisedObjective(self, weights, name=name)
+
+    def evaluate_metrics_batch(
+        self,
+        mappings: Iterable[Union[Mapping, Dict[str, int]]],
+        backend: Optional["BatchBackend"] = None,
+    ) -> List[MetricVector]:
+        """Component vectors of several candidates in one call (shares the memo).
+
+        Candidates already in the memo are answered from it; the misses are
+        deduplicated and handed to the backend as one batch, then written
+        back to the memo.  Vectors are bit-identical to per-candidate
+        :meth:`metrics` calls regardless of the backend — only *where* the
+        arithmetic runs changes.
+
+        Parameters
+        ----------
+        mappings:
+            Candidates to price (:class:`~repro.core.mapping.Mapping`
+            objects or plain assignment dicts).
+        backend:
+            Override of the context's default backend for this call; with
+            both ``None`` the batch is priced inline.
+
+        Returns
+        -------
+        list of MetricVector
+            One component vector per candidate, in input order.
+        """
+        active = backend if backend is not None else self._backend
+        if active is None:
+            return [self.metrics(mapping) for mapping in mappings]
+
+        items = list(mappings)
+        memo = self._memo
+        use_memo = self._cache_size > 0
+        vectors: List[Optional[MetricVector]] = [None] * len(items)
+        # Unique misses in first-seen order; duplicate Mappings collapse to
+        # one computation (dict candidates are not hashable, so each prices
+        # on its own).
+        unique: List[Any] = []
+        targets: List[List[int]] = []
+        seen: Dict[Mapping, int] = {}
+        for index, mapping in enumerate(items):
+            if isinstance(mapping, Mapping):
+                if use_memo:
+                    cached = memo.get(mapping)
+                    if cached is not None:
+                        self._hits += 1
+                        memo.move_to_end(mapping)
+                        vectors[index] = cached
+                        continue
+                slot = seen.get(mapping)
+                if slot is not None:
+                    targets[slot].append(index)
+                    continue
+                seen[mapping] = len(unique)
+            unique.append(mapping)
+            targets.append([index])
+        if unique:
+            computed = active.evaluate_metrics(self, unique)
+            for mapping, vector, indices in zip(unique, computed, targets):
+                self._misses += 1
+                for index in indices:
+                    vectors[index] = vector
+                if use_memo and isinstance(mapping, Mapping):
+                    memo[mapping] = vector
+                    if len(memo) > self._cache_size:
+                        memo.popitem(last=False)
+        return vectors  # type: ignore[return-value]  # every slot is filled
+
     def evaluate_batch(
         self,
         mappings: Iterable[Union[Mapping, Dict[str, int]]],
@@ -168,9 +326,9 @@ class EvaluationContext(ABC):
     ) -> List[float]:
         """Price several candidates in one call (shares the memo).
 
-        Candidates already in the memo are answered from it; the misses are
-        deduplicated and handed to the backend as one batch, then written
-        back to the memo.  Costs are bit-identical to per-candidate
+        The scalar view of :meth:`evaluate_metrics_batch`: component vectors
+        are priced (or recalled) once and scalarised with the context's
+        :attr:`weights`.  Costs are bit-identical to per-candidate
         :meth:`cost` calls regardless of the backend — only *where* the
         arithmetic runs changes.
 
@@ -191,48 +349,20 @@ class EvaluationContext(ABC):
         active = backend if backend is not None else self._backend
         if active is None:
             return [self.cost(mapping) for mapping in mappings]
+        return [
+            self._scalarise(vector)
+            for vector in self.evaluate_metrics_batch(mappings, backend=active)
+        ]
 
-        items = list(mappings)
-        memo = self._memo
-        use_memo = self._cache_size > 0
-        costs: List[Optional[float]] = [None] * len(items)
-        # Unique misses in first-seen order; duplicate Mappings collapse to
-        # one computation (dict candidates are not hashable, so each prices
-        # on its own).
-        unique: List[Any] = []
-        targets: List[List[int]] = []
-        seen: Dict[Mapping, int] = {}
-        for index, mapping in enumerate(items):
-            if isinstance(mapping, Mapping):
-                if use_memo:
-                    cached = memo.get(mapping)
-                    if cached is not None:
-                        self._hits += 1
-                        memo.move_to_end(mapping)
-                        costs[index] = cached
-                        continue
-                slot = seen.get(mapping)
-                if slot is not None:
-                    targets[slot].append(index)
-                    continue
-                seen[mapping] = len(unique)
-            unique.append(mapping)
-            targets.append([index])
-        if unique:
-            computed = active.evaluate(self, unique)
-            for mapping, cost, indices in zip(unique, computed, targets):
-                self._misses += 1
-                for index in indices:
-                    costs[index] = cost
-                if use_memo and isinstance(mapping, Mapping):
-                    memo[mapping] = cost
-                    if len(memo) > self._cache_size:
-                        memo.popitem(last=False)
-        return costs  # type: ignore[return-value]  # every slot is filled
+    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+        """Uncached objective value of *mapping* (derived from the vector)."""
+        return self._scalarise(self._compute_metrics(mapping))
 
     @abstractmethod
-    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
-        """Uncached objective value of *mapping*."""
+    def _compute_metrics(
+        self, mapping: Union[Mapping, Dict[str, int]]
+    ) -> MetricVector:
+        """Uncached component vector of *mapping*."""
 
     # ------------------------------------------------------------------
     # Memo bookkeeping
@@ -283,6 +413,8 @@ class CwmEvaluationContext(EvaluationContext):
     """
 
     supports_delta = True
+    supports_metric_delta = True
+    metric_names = CWM_METRIC_NAMES
 
     def __init__(
         self,
@@ -303,6 +435,7 @@ class CwmEvaluationContext(EvaluationContext):
             else get_route_table(platform, include_local=include_local)
         )
         self.name = f"cwm({cwg.name})"
+        self.weights = {"dynamic_energy": 1.0}
         # Flat edge arrays: iterating tuples beats re-walking the CWG object
         # graph on every evaluation, and edge indices give delta() a compact
         # per-core incidence list.
@@ -362,7 +495,9 @@ class CwmEvaluationContext(EvaluationContext):
                 )
         return tiles
 
-    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
+    def _compute_metrics(
+        self, mapping: Union[Mapping, Dict[str, int]]
+    ) -> MetricVector:
         # Equation 3 over snapshot edge arrays — the hot-loop twin of
         # :meth:`repro.core.cwm.CwmEvaluator.cost`, which prices per call from
         # the live (mutable) CWG and therefore cannot bind these arrays.  The
@@ -385,7 +520,7 @@ class CwmEvaluationContext(EvaluationContext):
                 f"mapping does not place core {exc.args[0]!r} of application "
                 f"{self.cwg.name!r}"
             ) from exc
-        return total
+        return MetricVector(CWM_METRIC_NAMES, (total,))
 
     def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
         """Exact CWM cost change of swapping the contents of two tiles.
@@ -450,6 +585,19 @@ class CwmEvaluationContext(EvaluationContext):
                 )
         return total
 
+    def metric_delta(
+        self, mapping: Mapping, tile_a: int, tile_b: int
+    ) -> MetricVector:
+        """Per-component variant of :meth:`delta` (one component under CWM).
+
+        Scalarisation views re-weight this vector instead of calling
+        :meth:`delta`, so a view with a non-unit weight still prices swaps in
+        O(degree).
+        """
+        return MetricVector(
+            CWM_METRIC_NAMES, (self.delta(mapping, tile_a, tile_b),)
+        )
+
 
 class CdcmEvaluationContext(EvaluationContext):
     """Memoised CDCM pricing over the shared route table.
@@ -490,6 +638,7 @@ class CdcmEvaluationContext(EvaluationContext):
     """
 
     supports_delta = False
+    metric_names = CDCM_METRIC_NAMES
 
     def __init__(
         self,
@@ -515,6 +664,7 @@ class CdcmEvaluationContext(EvaluationContext):
             route_table=route_table,
         )
         self.name = f"cdcm({cdcg.name},{metric})"
+        self.weights = scalarisation_weights(metric, energy_weight, time_weight)
 
     # ------------------------------------------------------------------
     # Pickling (picklable-light: workers rebuild tables locally)
@@ -548,8 +698,10 @@ class CdcmEvaluationContext(EvaluationContext):
             cache_size=state["cache_size"],
         )
 
-    def _compute_cost(self, mapping: Union[Mapping, Dict[str, int]]) -> float:
-        return self.evaluator.cost(self.cdcg, mapping)
+    def _compute_metrics(
+        self, mapping: Union[Mapping, Dict[str, int]]
+    ) -> MetricVector:
+        return self.evaluator.metrics(self.cdcg, mapping)
 
     def evaluate(
         self,

@@ -69,10 +69,8 @@ _WORKER_CONTEXT_LIMIT = 8
 _WORKER_CONTEXTS: "OrderedDict[int, EvaluationContext]" = OrderedDict()
 
 
-def _price_chunk(
-    token: int, payload: bytes, mappings: Sequence[Any]
-) -> List[float]:
-    """Worker task: price one chunk of candidates with a cached context.
+def _worker_context(token: int, payload: bytes) -> "EvaluationContext":
+    """Resolve one task's context from the per-worker cache (unpickle on miss).
 
     The pickled context travels with every task (any worker may see a token
     first), but unpickling — which rebuilds the route table and the edge
@@ -86,7 +84,23 @@ def _price_chunk(
             _WORKER_CONTEXTS.popitem(last=False)
     else:
         _WORKER_CONTEXTS.move_to_end(token)
+    return context
+
+
+def _price_chunk(
+    token: int, payload: bytes, mappings: Sequence[Any]
+) -> List[float]:
+    """Worker task: price one chunk of candidates with a cached context."""
+    context = _worker_context(token, payload)
     return [context._compute_cost(mapping) for mapping in mappings]
+
+
+def _price_metrics_chunk(
+    token: int, payload: bytes, mappings: Sequence[Any]
+) -> List[Any]:
+    """Worker task: metric vectors of one chunk (the vector-objective twin)."""
+    context = _worker_context(token, payload)
+    return [context._compute_metrics(mapping) for mapping in mappings]
 
 
 def _call(task: Tuple[Callable[..., Any], Tuple[Any, ...]]) -> Any:
@@ -157,6 +171,44 @@ class BatchBackend(ABC):
             computed elsewhere.
         """
 
+    def evaluate_metrics(
+        self, context: "EvaluationContext", mappings: Sequence[Any]
+    ) -> List[Any]:
+        """Metric vectors of *mappings* under *context*, in order.
+
+        The vector-objective twin of :meth:`evaluate` — this is what
+        :meth:`~repro.eval.context.EvaluationContext.evaluate_metrics_batch`
+        (and therefore every scalar batch too) prices misses through, so
+        memoised component vectors are shared by all scalarisation views.
+
+        The base class deliberately raises instead of pricing inline: a
+        backend written against the pre-vector protocol (overriding
+        :meth:`evaluate` only) would otherwise keep type-checking while its
+        fan-out silently stopped being used.  Subclasses must implement this
+        method — :class:`SerialBackend` prices inline,
+        :class:`ProcessPoolBackend` chunks across the pool.
+
+        Parameters
+        ----------
+        context:
+            The evaluation context whose ``_compute_metrics`` defines the
+            components.
+        mappings:
+            Candidates to price (``Mapping`` objects or assignment dicts).
+
+        Returns
+        -------
+        list of MetricVector
+            ``[context._compute_metrics(m) for m in mappings]``, possibly
+            computed elsewhere.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement evaluate_metrics(); "
+            f"since the vector-objective redesign batch misses price metric "
+            f"vectors, so backends must override evaluate_metrics (not just "
+            f"the legacy scalar evaluate())"
+        )
+
     def map(
         self,
         fn: Callable[..., Any],
@@ -210,6 +262,12 @@ class SerialBackend(BatchBackend):
     ) -> List[float]:
         """Price *mappings* by direct ``_compute_cost`` calls, in order."""
         return [context._compute_cost(mapping) for mapping in mappings]
+
+    def evaluate_metrics(
+        self, context: "EvaluationContext", mappings: Sequence[Any]
+    ) -> List[Any]:
+        """Metric vectors by direct ``_compute_metrics`` calls, in order."""
+        return [context._compute_metrics(mapping) for mapping in mappings]
 
 
 class ProcessPoolBackend(BatchBackend):
@@ -306,20 +364,42 @@ class ProcessPoolBackend(BatchBackend):
         Batches below ``min_batch_size`` are priced inline (identical
         arithmetic, no IPC).
         """
+        return self._fan_out(context, mappings, _price_chunk, "_compute_cost")
+
+    def evaluate_metrics(
+        self, context: "EvaluationContext", mappings: Sequence[Any]
+    ) -> List[Any]:
+        """Metric vectors of *mappings* across the pool, preserving order.
+
+        Batches below ``min_batch_size`` are priced inline (identical
+        arithmetic, no IPC).
+        """
+        return self._fan_out(
+            context, mappings, _price_metrics_chunk, "_compute_metrics"
+        )
+
+    def _fan_out(
+        self,
+        context: "EvaluationContext",
+        mappings: Sequence[Any],
+        chunk_task,
+        inline_method: str,
+    ) -> List[Any]:
         items = list(mappings)
         if len(items) < self.min_batch_size:
-            return [context._compute_cost(mapping) for mapping in items]
+            price = getattr(context, inline_method)
+            return [price(mapping) for mapping in items]
         token, payload = self._context_payload(context)
         chunk = self.chunk_size or math.ceil(len(items) / self.n_workers)
         pool = self._ensure_pool()
         futures = [
-            pool.submit(_price_chunk, token, payload, items[i : i + chunk])
+            pool.submit(chunk_task, token, payload, items[i : i + chunk])
             for i in range(0, len(items), chunk)
         ]
-        costs: List[float] = []
+        results: List[Any] = []
         for future in futures:
-            costs.extend(future.result())
-        return costs
+            results.extend(future.result())
+        return results
 
     def map(
         self,

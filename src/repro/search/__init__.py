@@ -13,14 +13,21 @@ engines useful as baselines and extensions:
 
 Every engine implements :class:`~repro.search.base.Searcher` and only sees the
 objective function ``mapping -> cost``, so it works identically for CWM and
-CDCM objectives.
+CDCM objectives.  Objective *specs* — an
+:class:`~repro.eval.context.EvaluationContext` or a ``(vector_objective,
+weights)`` pair — are accepted everywhere a callable is (coerced by
+:func:`~repro.search.base.as_objective`), and every
+:class:`~repro.search.base.SearchResult` carries the best mapping's named
+per-metric breakdown when the objective exposes one.
 """
 
 from repro.search.base import (
     Searcher,
     SearchResult,
+    as_objective,
     batch_callable,
     delta_callable,
+    objective_metrics,
 )
 from repro.search.exhaustive import ExhaustiveSearch
 from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
@@ -32,8 +39,10 @@ from repro.search.registry import get_searcher, available_searchers
 __all__ = [
     "Searcher",
     "SearchResult",
+    "as_objective",
     "batch_callable",
     "delta_callable",
+    "objective_metrics",
     "ExhaustiveSearch",
     "AnnealingSchedule",
     "SimulatedAnnealing",

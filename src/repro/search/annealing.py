@@ -41,7 +41,9 @@ from repro.search.base import (
     PoolOwnerMixin,
     SearchResult,
     Searcher,
+    as_objective,
     delta_callable,
+    objective_metrics,
 )
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng, spawn_seeds
@@ -281,6 +283,7 @@ class SimulatedAnnealing(PoolOwnerMixin, Searcher):
             mapping overall, summed evaluations/accepted moves, history of
             global-best improvements in restart order).
         """
+        objective = as_objective(objective)
         if self.restarts > 1:
             return self._search_restarts(objective, initial, rng)
         return self._search_once(objective, initial, rng)
@@ -338,6 +341,7 @@ class SimulatedAnnealing(PoolOwnerMixin, Searcher):
             evaluations=sum(r.evaluations for r in results),
             history=history,
             accepted_moves=sum(r.accepted_moves for r in results),
+            best_metrics=results[best_index].best_metrics,
         )
 
     def _search_once(
@@ -356,7 +360,13 @@ class SimulatedAnnealing(PoolOwnerMixin, Searcher):
             )
         if num_tiles < 2:
             cost = objective(initial)
-            return SearchResult(initial, cost, 1, [(1, cost)])
+            return SearchResult(
+                initial,
+                cost,
+                1,
+                [(1, cost)],
+                best_metrics=objective_metrics(objective, initial),
+            )
 
         delta_fn = delta_callable(objective) if self.use_delta else None
 
@@ -437,6 +447,7 @@ class SimulatedAnnealing(PoolOwnerMixin, Searcher):
             evaluations=evaluations,
             history=history,
             accepted_moves=accepted,
+            best_metrics=objective_metrics(objective, best),
         )
 
     # ------------------------------------------------------------------

@@ -1,12 +1,25 @@
-"""Common interface and result record for all mapping search engines."""
+"""Common interface and result record for all mapping search engines.
+
+Engines consume objectives through the plain ``mapping -> cost`` contract
+and *discover* richer capabilities by probing (:func:`delta_callable`,
+:func:`batch_callable`).  Since the vector-objective redesign every engine
+also accepts **objective specs** — an
+:class:`~repro.eval.context.EvaluationContext` directly, or a
+``(vector_objective, weights)`` pair — which :func:`as_objective` coerces
+into the callable contract, and every :class:`SearchResult` carries the
+best mapping's named per-metric breakdown when the objective can provide
+one (:func:`objective_metrics`).
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mapping import Mapping
+from repro.core.metrics import MetricVector
+from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource
 
 #: Objective signature shared by all engines: lower is better.
@@ -80,6 +93,78 @@ def batch_callable(objective: Objective) -> Optional[BatchFunction]:
     return None
 
 
+def as_objective(spec) -> Objective:
+    """Coerce an objective spec into the callable engines price through.
+
+    Engines call this on whatever was handed to :meth:`Searcher.search`, so
+    all of the following are accepted everywhere a plain callable is:
+
+    * a callable ``mapping -> cost`` (returned unchanged — including
+      :class:`~repro.core.objective.CountingObjective` and
+      :class:`~repro.core.objective.ScalarisedObjective`);
+    * an :class:`~repro.eval.context.EvaluationContext` (wrapped in a
+      :class:`~repro.core.objective.CountingObjective` scalarising with the
+      context's own weight view);
+    * a ``(vector_objective, weights)`` pair (turned into a
+      :class:`~repro.core.objective.ScalarisedObjective` view sharing the
+      source's memo).
+
+    Parameters
+    ----------
+    spec:
+        The objective or objective spec.
+
+    Returns
+    -------
+    Objective
+        A callable honouring the ``mapping -> cost`` contract.
+
+    Raises
+    ------
+    ConfigurationError
+        When *spec* matches none of the accepted shapes.
+    """
+    if isinstance(spec, tuple) and len(spec) == 2:
+        from repro.core.objective import ScalarisedObjective
+
+        source, weights = spec
+        return ScalarisedObjective(source, weights)
+    if callable(spec):
+        return spec
+    if callable(getattr(spec, "cost", None)) and callable(
+        getattr(spec, "metrics", None)
+    ):
+        from repro.core.objective import _bind_context
+
+        return _bind_context(spec)
+    raise ConfigurationError(
+        f"cannot build an objective from {spec!r}; expected a callable, an "
+        f"EvaluationContext, or a (vector_objective, weights) pair"
+    )
+
+
+def objective_metrics(
+    objective: Objective, mapping: Mapping
+) -> Optional[MetricVector]:
+    """Best-effort per-metric breakdown of *mapping* under *objective*.
+
+    Probes the objective's bound evaluation context first (an uncounted
+    memo lookup, so attaching a breakdown to a
+    :class:`SearchResult` never perturbs the Section 5 effort counters or
+    the search walk), then the objective itself; plain scalar callables
+    yield ``None``.
+    """
+    context = getattr(objective, "context", None)
+    source = context if context is not None else objective
+    probe = getattr(source, "metrics", None)
+    if not callable(probe):
+        return None
+    try:
+        return probe(mapping)
+    except NotImplementedError:
+        return None
+
+
 class PoolOwnerMixin:
     """Shared lifecycle for engines that can own a process-pool backend.
 
@@ -140,6 +225,10 @@ class SearchResult:
     accepted_moves:
         For move-based engines (simulated annealing, GA), how many candidate
         moves were accepted; 0 for constructive or enumerative engines.
+    best_metrics:
+        Named per-metric breakdown of ``best_mapping`` (energy terms, CDCM
+        makespan) when the objective exposes one — attached by every engine
+        via :func:`objective_metrics`; ``None`` for plain scalar callables.
     """
 
     best_mapping: Mapping
@@ -147,6 +236,30 @@ class SearchResult:
     evaluations: int
     history: List[Tuple[int, float]] = field(default_factory=list)
     accepted_moves: int = 0
+    best_metrics: Optional[MetricVector] = None
+
+    @property
+    def metric_breakdown(self) -> Optional[Dict[str, float]]:
+        """``best_metrics`` as a plain dict, or ``None`` when unavailable."""
+        return self.best_metrics.as_dict() if self.best_metrics is not None else None
+
+    def metric(self, name: str) -> float:
+        """One component of the best mapping's breakdown, by name.
+
+        Raises
+        ------
+        ConfigurationError
+            When the engine could not attach a breakdown (plain scalar
+            objective).
+        KeyError
+            When the breakdown exists but has no such component.
+        """
+        if self.best_metrics is None:
+            raise ConfigurationError(
+                "this search result carries no per-metric breakdown; the "
+                "objective was a plain scalar callable"
+            )
+        return self.best_metrics[name]
 
     def improvement_over(self, reference_cost: float) -> float:
         """Relative improvement of ``best_cost`` w.r.t. *reference_cost*.
@@ -174,7 +287,10 @@ class Searcher(ABC):
     :func:`batch_callable` and price whole generations (or enumeration
     chunks) in one call — the hook that lets a
     :class:`~repro.eval.parallel.BatchBackend` parallelise them.  The plain
-    ``mapping -> cost`` contract remains the only requirement.
+    ``mapping -> cost`` contract remains the only requirement; objective
+    *specs* (an :class:`~repro.eval.context.EvaluationContext`, or a
+    ``(vector_objective, weights)`` pair) are coerced through
+    :func:`as_objective` by every engine.
     """
 
     #: Short identifier used by the registry and reports.
@@ -199,6 +315,8 @@ __all__ = [
     "BatchFunction",
     "delta_callable",
     "batch_callable",
+    "as_objective",
+    "objective_metrics",
     "PoolOwnerMixin",
     "SearchResult",
     "Searcher",

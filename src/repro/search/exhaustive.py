@@ -27,7 +27,9 @@ from repro.search.base import (
     PoolOwnerMixin,
     SearchResult,
     Searcher,
+    as_objective,
     batch_callable,
+    objective_metrics,
 )
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource
@@ -120,6 +122,7 @@ class ExhaustiveSearch(PoolOwnerMixin, Searcher):
             improvement along the enumeration order.
         """
         del rng  # the enumeration is deterministic
+        objective = as_objective(objective)
         cores = initial.cores
         num_tiles = initial.num_tiles
         if num_tiles is None:
@@ -180,6 +183,7 @@ class ExhaustiveSearch(PoolOwnerMixin, Searcher):
             best_cost=best_cost,
             evaluations=evaluations,
             history=history,
+            best_metrics=objective_metrics(objective, best_mapping),
         )
 
     @staticmethod

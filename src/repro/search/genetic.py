@@ -33,7 +33,9 @@ from repro.search.base import (
     PoolOwnerMixin,
     SearchResult,
     Searcher,
+    as_objective,
     batch_callable,
+    objective_metrics,
 )
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng
@@ -166,6 +168,7 @@ class GeneticSearch(PoolOwnerMixin, Searcher):
             Best mapping, its cost, evaluation count and convergence history.
         """
         params = self.parameters
+        objective = as_objective(objective)
         generator = ensure_rng(rng)
         num_tiles = initial.num_tiles
         if num_tiles is None:
@@ -229,6 +232,7 @@ class GeneticSearch(PoolOwnerMixin, Searcher):
             evaluations=evaluations,
             history=history,
             accepted_moves=accepted,
+            best_metrics=objective_metrics(objective, best),
         )
 
     # ------------------------------------------------------------------

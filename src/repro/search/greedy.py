@@ -29,7 +29,14 @@ from repro.core.mapping import Mapping
 from repro.eval.route_table import RouteTable, get_route_table
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
-from repro.search.base import Objective, SearchResult, Searcher, delta_callable
+from repro.search.base import (
+    Objective,
+    SearchResult,
+    Searcher,
+    as_objective,
+    delta_callable,
+    objective_metrics,
+)
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource
 
@@ -78,6 +85,7 @@ class GreedyConstructive(Searcher):
         rng: RandomSource = None,
     ) -> SearchResult:
         del rng  # construction is deterministic
+        objective = as_objective(objective)
         num_tiles = initial.num_tiles
         if num_tiles is None:
             raise ConfigurationError(
@@ -109,6 +117,7 @@ class GreedyConstructive(Searcher):
             best_cost=best_cost,
             evaluations=evaluations,
             history=[(evaluations, best_cost)],
+            best_metrics=objective_metrics(objective, best),
         )
 
     def _refine(

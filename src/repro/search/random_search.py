@@ -10,7 +10,13 @@ serious search method must beat it.
 from __future__ import annotations
 
 from repro.core.mapping import Mapping
-from repro.search.base import Objective, SearchResult, Searcher
+from repro.search.base import (
+    Objective,
+    SearchResult,
+    Searcher,
+    as_objective,
+    objective_metrics,
+)
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -38,6 +44,7 @@ class RandomSearch(Searcher):
         initial: Mapping,
         rng: RandomSource = None,
     ) -> SearchResult:
+        objective = as_objective(objective)
         generator = ensure_rng(rng)
         num_tiles = initial.num_tiles
         if num_tiles is None:
@@ -64,6 +71,7 @@ class RandomSearch(Searcher):
             best_cost=best_cost,
             evaluations=evaluations,
             history=history,
+            best_metrics=objective_metrics(objective, best),
         )
 
 

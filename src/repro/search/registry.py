@@ -16,6 +16,11 @@ baselines).  The parallel-pricing knobs ride the same path:
 four-worker process pool, ``get_searcher("sa", restarts=8, n_workers=4)``
 fans restarts out, and ``get_searcher("es", n_workers=4)`` prices enumeration
 chunks in parallel (see :mod:`repro.eval.parallel`).
+
+Registry-built engines accept objective *specs* like every other engine: an
+:class:`~repro.eval.context.EvaluationContext` or a ``(vector_objective,
+weights)`` pair can be passed straight to ``search(...)`` — see
+:func:`repro.search.base.as_objective`.
 """
 
 from __future__ import annotations
