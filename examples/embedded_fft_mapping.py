@@ -9,11 +9,16 @@ and reports execution time, total energy and contention for each, showing how
 much headroom a timing-aware search recovers on real dataflow structures.
 
 Run with:  python examples/embedded_fft_mapping.py
+(set REPRO_EXAMPLES_SMOKE=1 for the tiny-parameter CI smoke configuration)
 """
+
+import os
 
 from repro import FRWFramework, Mesh, Platform
 from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
 from repro.workloads.embedded import embedded_applications
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0", "false")
 
 
 def evaluate(framework: FRWFramework, mapping, label: str) -> None:
@@ -26,9 +31,14 @@ def evaluate(framework: FRWFramework, mapping, label: str) -> None:
 
 
 def main() -> None:
-    schedule = AnnealingSchedule(cooling_factor=0.93, max_evaluations=4_000)
+    schedule = AnnealingSchedule(
+        cooling_factor=0.93, max_evaluations=500 if SMOKE else 4_000
+    )
 
-    for name, cdcg in embedded_applications().items():
+    applications = embedded_applications()
+    if SMOKE:
+        applications = dict(list(applications.items())[:2])
+    for name, cdcg in applications.items():
         # Pick the smallest of a few standard mesh sizes that fits the app.
         mesh = next(
             m

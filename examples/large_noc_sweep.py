@@ -10,9 +10,11 @@ presets, so the trend can be inspected directly.
 
 Run with:  python examples/large_noc_sweep.py
 (add --full to include a 6x6 mesh; the CDCM search cost grows with both the
-packet count and the number of tiles)
+packet count and the number of tiles.  Set REPRO_EXAMPLES_SMOKE=1 for the
+tiny-parameter CI smoke configuration.)
 """
 
+import os
 import sys
 
 from repro import Mesh, Platform
@@ -22,8 +24,11 @@ from repro.search.annealing import AnnealingSchedule
 from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0", "false")
+
+
 def main() -> None:
-    full = "--full" in sys.argv
+    full = "--full" in sys.argv and not SMOKE
 
     # One medium benchmark, reused across all NoC sizes.
     spec = TgffSpec(
@@ -43,12 +48,14 @@ def main() -> None:
     # so let the CWM annealer price moves incrementally (see repro.eval).
     config = ComparisonConfig(
         annealing_schedule=AnnealingSchedule(
-            cooling_factor=0.92, max_evaluations=5_000, stall_plateaus=10
+            cooling_factor=0.92,
+            max_evaluations=800 if SMOKE else 5_000,
+            stall_plateaus=10,
         ),
         use_delta=True,
     )
 
-    meshes = [Mesh(3, 4), Mesh(4, 4), Mesh(5, 4)]
+    meshes = [Mesh(3, 4)] if SMOKE else [Mesh(3, 4), Mesh(4, 4), Mesh(5, 4)]
     if full:
         meshes.append(Mesh(6, 6))
 

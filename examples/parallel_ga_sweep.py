@@ -17,9 +17,11 @@ This example demonstrates the parallel half of the evaluation engine
    the answer.
 
 Run with:  python examples/parallel_ga_sweep.py
-(add --workers N to change the pool size)
+(add --workers N to change the pool size; set REPRO_EXAMPLES_SMOKE=1 for the
+tiny-parameter CI smoke configuration)
 """
 
+import os
 import sys
 import time
 
@@ -31,11 +33,13 @@ from repro.graphs.convert import cdcg_to_cwg
 from repro.search.genetic import GeneticParameters, GeneticSearch
 from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0", "false")
+
 SEED = 2005
 
 
 def main() -> None:
-    n_workers = 4
+    n_workers = 2 if SMOKE else 4
     if "--workers" in sys.argv:
         n_workers = int(sys.argv[sys.argv.index("--workers") + 1])
 
@@ -65,7 +69,9 @@ def main() -> None:
         )
 
         # 2. Pooled GA under both models.
-        params = GeneticParameters(population_size=16, generations=3)
+        params = GeneticParameters(
+            population_size=16, generations=2 if SMOKE else 3
+        )
         initial = Mapping.random(cdcg.cores(), platform.num_tiles, rng=SEED)
 
         for label, objective_factory in (

@@ -18,7 +18,10 @@ image-encoder workload:
    axis — Figure 2's blind spot, now as a front-vs-front picture.
 
 Run with:  python examples/pareto_front_sweep.py
+(set REPRO_EXAMPLES_SMOKE=1 for the tiny-parameter CI smoke configuration)
 """
+
+import os
 
 from repro import Mesh, Platform
 from repro.analysis.pareto import (
@@ -34,9 +37,11 @@ from repro.graphs.convert import cdcg_to_cwg
 from repro.search.annealing import FAST_SCHEDULE, SimulatedAnnealing
 from repro.workloads.embedded import image_encoder
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0", "false")
+
 SEED = 42
-POOL_SIZE = 200
-SWEEP_WEIGHTS = 9
+POOL_SIZE = 40 if SMOKE else 200
+SWEEP_WEIGHTS = 5 if SMOKE else 9
 #: The front axes.  Total ``energy`` folds static leakage (proportional to
 #: texec) into the energy term, which correlates the two axes; the crisper
 #: engineering trade-off is communication (dynamic) energy vs makespan.
@@ -77,7 +82,7 @@ def main() -> None:
         Mapping.random(cdcg.cores(), platform.num_tiles, rng=SEED + i)
         for i in range(POOL_SIZE)
     ]
-    engine = SimulatedAnnealing(FAST_SCHEDULE, restarts=2)
+    engine = SimulatedAnnealing(FAST_SCHEDULE, restarts=1 if SMOKE else 2)
     view = context.scalarised({"energy": 1.0})
     for index, weights in enumerate(weight_grid(SWEEP_WEIGHTS, FRONT_KEYS)):
         weights = {key: value for key, value in weights.items() if value}
@@ -108,7 +113,7 @@ def main() -> None:
     # price the results under the full CDCM model.
     cwm_engine = SimulatedAnnealing(FAST_SCHEDULE)
     cwm_candidates = []
-    for restart in range(4):
+    for restart in range(2 if SMOKE else 4):
         outcome = cwm_engine.search(
             cwm_objective(cwg, platform),
             Mapping.random(cdcg.cores(), platform.num_tiles, rng=restart),

@@ -67,6 +67,8 @@ from repro.search import (
     GreedyConstructive,
     GeneticParameters,
     GeneticSearch,
+    Nsga2Parameters,
+    NSGA2Search,
     get_searcher,
 )
 from repro.analysis import (
@@ -79,6 +81,7 @@ from repro.analysis import (
     non_dominated,
     pareto_front,
     weight_sweep_front,
+    hypervolume,
 )
 
 __version__ = "1.0.0"
@@ -128,6 +131,8 @@ __all__ = [
     "GreedyConstructive",
     "GeneticParameters",
     "GeneticSearch",
+    "Nsga2Parameters",
+    "NSGA2Search",
     "get_searcher",
     "ComparisonConfig",
     "ModelComparison",
@@ -138,5 +143,6 @@ __all__ = [
     "non_dominated",
     "pareto_front",
     "weight_sweep_front",
+    "hypervolume",
     "__version__",
 ]

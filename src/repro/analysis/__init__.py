@@ -49,6 +49,7 @@ from repro.analysis.pareto import (
     WeightSweepResult,
     dominates,
     front_to_rows,
+    hypervolume,
     metric_points,
     non_dominated,
     pareto_front,
@@ -63,6 +64,7 @@ __all__ = [
     "WeightSweepResult",
     "dominates",
     "front_to_rows",
+    "hypervolume",
     "metric_points",
     "non_dominated",
     "pareto_front",

@@ -16,7 +16,11 @@ module turns priced candidate sets into energy/time fronts:
   products, **not** K pricing passes (the acceptance property pinned by
   ``tests/test_pareto.py``);
 * :func:`front_to_rows` — export a front as plain dict rows for figures,
-  CSV/JSON writers and the markdown report helpers.
+  CSV/JSON writers and the markdown report helpers;
+* :func:`hypervolume` — the dominated-area indicator over a two-key front,
+  the standard quality measure for comparing fronts from different engines
+  (e.g. :func:`weight_sweep_front` vs. an
+  :class:`~repro.search.nsga2.NSGA2Search` result's ``front``).
 
 Any vector-capable pricing source works: an
 :class:`~repro.eval.context.EvaluationContext`, a
@@ -317,6 +321,70 @@ def weight_sweep_front(
     )
 
 
+def hypervolume(
+    points: Sequence[ParetoPoint],
+    reference: Any = None,
+    keys: Sequence[str] = DEFAULT_FRONT_KEYS,
+) -> float:
+    """Dominated area of a two-key front w.r.t. a reference point.
+
+    The standard front-quality indicator: the area of the region weakly
+    dominated by the front and bounded by *reference* (larger is better).
+    Comparing two fronts is only meaningful **under the same reference** —
+    pass one explicitly (e.g. the componentwise maximum over the union of
+    both fronts) when comparing engines.
+
+    Parameters
+    ----------
+    points:
+        Priced candidates; dominated points are filtered out first, so any
+        point set is accepted, not just a clean front.
+    reference:
+        The bounding point, as a ``{key: value}`` mapping or a pair aligned
+        with *keys*.  ``None`` uses the componentwise maximum over *points*
+        (which prices the boundary points' own rectangles at zero — fine for
+        a single front, wrong for cross-front comparison unless both share
+        it).
+    keys:
+        Exactly two metric names (all minimised).
+
+    Returns
+    -------
+    float
+        The dominated area; 0.0 for an empty point set.
+    """
+    keys = tuple(keys)
+    if len(keys) != 2:
+        raise ConfigurationError(
+            f"hypervolume is defined over exactly two metric keys, got {keys!r}"
+        )
+    if not points:
+        return 0.0
+    front = non_dominated(points, keys)
+    if reference is None:
+        reference = {
+            key: max(point.metrics[key] for point in points) for key in keys
+        }
+    if isinstance(reference, dict):
+        bound_x = float(reference[keys[0]])
+        bound_y = float(reference[keys[1]])
+    else:
+        bound_x, bound_y = (float(value) for value in reference)
+    total = 0.0
+    ceiling = bound_y
+    # The front is sorted ascending by keys[0], so keys[1] descends strictly;
+    # each point contributes the rectangle between it, the reference x-bound
+    # and the previous point's y-value.
+    for point in front:
+        x = point.metrics[keys[0]]
+        y = point.metrics[keys[1]]
+        if x >= bound_x or y >= ceiling:
+            continue
+        total += (bound_x - x) * (ceiling - y)
+        ceiling = y
+    return total
+
+
 def front_to_rows(
     points: Sequence[ParetoPoint], keys: Optional[Sequence[str]] = None
 ) -> List[Dict[str, Any]]:
@@ -368,4 +436,5 @@ __all__ = [
     "weight_grid",
     "weight_sweep_front",
     "front_to_rows",
+    "hypervolume",
 ]

@@ -9,7 +9,9 @@ engines useful as baselines and extensions:
   baseline that Hu & Marculescu compare against;
 * :class:`~repro.search.greedy.GreedyConstructive` — a fast constructive
   heuristic placing the most communication-intensive cores first;
-* :class:`~repro.search.genetic.GeneticSearch` — a permutation GA extension.
+* :class:`~repro.search.genetic.GeneticSearch` — a permutation GA extension;
+* :class:`~repro.search.nsga2.NSGA2Search` — NSGA-II population-front search
+  optimising the energy/time front directly on the vector objective.
 
 Every engine implements :class:`~repro.search.base.Searcher` and only sees the
 objective function ``mapping -> cost``, so it works identically for CWM and
@@ -34,6 +36,7 @@ from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
 from repro.search.random_search import RandomSearch
 from repro.search.greedy import GreedyConstructive
 from repro.search.genetic import GeneticParameters, GeneticSearch
+from repro.search.nsga2 import Nsga2Parameters, NSGA2Search
 from repro.search.registry import get_searcher, available_searchers
 
 __all__ = [
@@ -50,6 +53,8 @@ __all__ = [
     "GreedyConstructive",
     "GeneticParameters",
     "GeneticSearch",
+    "Nsga2Parameters",
+    "NSGA2Search",
     "get_searcher",
     "available_searchers",
 ]

@@ -15,12 +15,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from repro.core.mapping import Mapping
 from repro.core.metrics import MetricVector
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import only used by type checkers
+    from repro.analysis.pareto import ParetoPoint
 
 #: Objective signature shared by all engines: lower is better.
 Objective = Callable[[Mapping], float]
@@ -229,6 +232,15 @@ class SearchResult:
         Named per-metric breakdown of ``best_mapping`` (energy terms, CDCM
         makespan) when the objective exposes one — attached by every engine
         via :func:`objective_metrics`; ``None`` for plain scalar callables.
+    front:
+        For multi-objective engines
+        (:class:`~repro.search.nsga2.NSGA2Search`), the final non-dominated
+        set as :class:`~repro.analysis.pareto.ParetoPoint` objects — directly
+        interoperable with :mod:`repro.analysis.pareto`
+        (:func:`~repro.analysis.pareto.front_to_rows`,
+        :func:`~repro.analysis.pareto.hypervolume`, dominance comparisons
+        against :func:`~repro.analysis.pareto.weight_sweep_front` fronts).
+        ``None`` for scalar engines.
     """
 
     best_mapping: Mapping
@@ -237,6 +249,7 @@ class SearchResult:
     history: List[Tuple[int, float]] = field(default_factory=list)
     accepted_moves: int = 0
     best_metrics: Optional[MetricVector] = None
+    front: Optional[List["ParetoPoint"]] = None
 
     @property
     def metric_breakdown(self) -> Optional[Dict[str, float]]:

@@ -41,6 +41,61 @@ from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng
 
 
+def uniform_assignment_crossover(
+    parent_a: Mapping,
+    parent_b: Mapping,
+    cores: List[str],
+    num_tiles: int,
+    rng,
+) -> Mapping:
+    """Position-preserving uniform crossover with injectivity repair.
+
+    For each core (in *cores* order) the child inherits one parent's tile,
+    preferring a uniformly chosen parent but falling back to the other when
+    the preferred tile is already taken; cores whose tiles are both taken
+    are placed on shuffled leftover tiles in a final repair pass.  The RNG
+    is consumed once per core plus one shuffle, so seeded runs are
+    reproducible.
+
+    Shared by :class:`GeneticSearch` and
+    :class:`~repro.search.nsga2.NSGA2Search` — the scalar GA and the
+    population-front engine explore the same move space with the same
+    operators.
+    """
+    child: dict[str, int] = {}
+    used: set[int] = set()
+    order = list(cores)
+    for core in order:
+        choices = [parent_a.tile_of(core), parent_b.tile_of(core)]
+        if rng.random() < 0.5:
+            choices.reverse()
+        tile = next((t for t in choices if t not in used), None)
+        if tile is None:
+            continue  # resolved in the repair pass below
+        child[core] = tile
+        used.add(tile)
+    free = [t for t in range(num_tiles) if t not in used]
+    rng.shuffle(free)
+    for core in order:
+        if core not in child:
+            child[core] = free.pop()
+    return Mapping(child, num_tiles=num_tiles)
+
+
+def swap_mutation(mapping: Mapping, num_tiles: int, rng) -> Mapping:
+    """Swap the contents of two distinct uniformly drawn tiles.
+
+    The same move simulated annealing proposes; either tile may be empty.
+    Consumes exactly two RNG draws.  Shared by :class:`GeneticSearch` and
+    :class:`~repro.search.nsga2.NSGA2Search`.
+    """
+    tile_a = int(rng.integers(num_tiles))
+    tile_b = int(rng.integers(num_tiles - 1))
+    if tile_b >= tile_a:
+        tile_b += 1
+    return mapping.swap_tiles(tile_a, tile_b)
+
+
 @dataclass(frozen=True)
 class GeneticParameters:
     """Knobs of :class:`GeneticSearch`.
@@ -252,32 +307,16 @@ class GeneticSearch(PoolOwnerMixin, Searcher):
         rng,
     ) -> Mapping:
         """Uniform assignment crossover with injectivity repair."""
-        child: dict[str, int] = {}
-        used: set[int] = set()
-        order = list(cores)
-        for core in order:
-            choices = [parent_a.tile_of(core), parent_b.tile_of(core)]
-            if rng.random() < 0.5:
-                choices.reverse()
-            tile = next((t for t in choices if t not in used), None)
-            if tile is None:
-                continue  # resolved in the repair pass below
-            child[core] = tile
-            used.add(tile)
-        free = [t for t in range(num_tiles) if t not in used]
-        rng.shuffle(free)
-        for core in order:
-            if core not in child:
-                child[core] = free.pop()
-        return Mapping(child, num_tiles=num_tiles)
+        return uniform_assignment_crossover(parent_a, parent_b, cores, num_tiles, rng)
 
     def _mutate(self, mapping: Mapping, num_tiles: int, rng) -> Mapping:
         """Swap the contents of two distinct tiles."""
-        tile_a = int(rng.integers(num_tiles))
-        tile_b = int(rng.integers(num_tiles - 1))
-        if tile_b >= tile_a:
-            tile_b += 1
-        return mapping.swap_tiles(tile_a, tile_b)
+        return swap_mutation(mapping, num_tiles, rng)
 
 
-__all__ = ["GeneticParameters", "GeneticSearch"]
+__all__ = [
+    "GeneticParameters",
+    "GeneticSearch",
+    "uniform_assignment_crossover",
+    "swap_mutation",
+]

@@ -20,7 +20,12 @@ chunks in parallel (see :mod:`repro.eval.parallel`).
 Registry-built engines accept objective *specs* like every other engine: an
 :class:`~repro.eval.context.EvaluationContext` or a ``(vector_objective,
 weights)`` pair can be passed straight to ``search(...)`` — see
-:func:`repro.search.base.as_objective`.
+:func:`repro.search.base.as_objective`.  The multi-objective engine rides the
+same path: ``get_searcher("nsga2", keys=("dynamic_energy", "time"),
+n_workers=4)`` builds a population-front search whose result carries the
+final non-dominated set (it requires a vector-capable objective spec).
+
+See `docs/search.md` for a per-engine guide with when-to-use advice.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.search.annealing import SimulatedAnnealing
 from repro.search.base import Searcher
 from repro.search.exhaustive import ExhaustiveSearch
 from repro.search.genetic import GeneticSearch
+from repro.search.nsga2 import NSGA2Search
 from repro.search.random_search import RandomSearch
 from repro.utils.errors import ConfigurationError
 
@@ -39,9 +45,11 @@ _REGISTRY: Dict[str, Type[Searcher]] = {
     ExhaustiveSearch.name: ExhaustiveSearch,
     RandomSearch.name: RandomSearch,
     GeneticSearch.name: GeneticSearch,
-    # Aliases matching the paper's abbreviations.
+    NSGA2Search.name: NSGA2Search,
+    # Aliases matching the paper's abbreviations (and the NSGA-II literature).
     "sa": SimulatedAnnealing,
     "es": ExhaustiveSearch,
+    "nsga-ii": NSGA2Search,
 }
 
 

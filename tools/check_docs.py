@@ -15,6 +15,11 @@ Two checks, zero third-party dependencies:
    (``path#anchor`` or ``#anchor``) must match a heading in the target file
    (GitHub-style slugs).
 
+3. **Engine guide coverage** — every search engine shipped in
+   ``repro.search`` (every exported ``Searcher`` subclass) must have a
+   section heading in ``docs/search.md`` naming its registry identifier, so
+   a new engine cannot land undocumented.
+
 Exits non-zero with a list of violations; run from the repository root:
 
     PYTHONPATH=src python tools/check_docs.py
@@ -133,8 +138,38 @@ def check_links() -> list:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Engine guide coverage
+# ----------------------------------------------------------------------
+def check_engine_sections() -> list:
+    """Every shipped search engine needs a section in docs/search.md."""
+    import repro.search as search_package
+    from repro.search.base import Searcher
+
+    guide = REPO_ROOT / "docs" / "search.md"
+    if not guide.exists():
+        return ["docs/search.md: file missing (the search-engine guide)"]
+    headings = [heading.lower() for heading in _HEADING_RE.findall(guide.read_text())]
+    problems = []
+    for name in search_package.__all__:
+        member = getattr(search_package, name, None)
+        if (
+            not inspect.isclass(member)
+            or not issubclass(member, Searcher)
+            or member is Searcher
+        ):
+            continue
+        engine = member.name.lower()
+        if not any(engine in heading for heading in headings):
+            problems.append(
+                f"docs/search.md: no section heading names engine "
+                f"{member.name!r} ({member.__name__})"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_docstrings() + check_links()
+    problems = check_docstrings() + check_links() + check_engine_sections()
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
         for problem in problems:

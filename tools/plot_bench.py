@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Plot the per-PR benchmark trajectory from ``BENCH_*.json`` sample files.
+
+The CI ``bench-trajectory`` job (and any local run with
+``REPRO_BENCH_RECORD=1``) appends one JSON object per bench run to
+``BENCH_<name>.json``; this tool turns each of those files into **one
+figure** — a grid of small multiples, one panel per numeric metric (never a
+dual-axis chart), sample index on the x-axis — so a perf regression shows up
+as a visible step in the trajectory.
+
+Zero hard dependencies: with matplotlib installed each figure is written to
+``PLOT_<name>.png``; without it the tool falls back to an ASCII rendering of
+the same panels (sparkline + first/min/max/last), so the trajectory stays
+readable in CI logs and dependency-free containers.
+
+Usage (from the repository root)::
+
+    python tools/plot_bench.py                 # all BENCH_*.json in the cwd
+    python tools/plot_bench.py --dir artifacts # ... in a downloaded artifact
+    python tools/plot_bench.py --format ascii  # force the text rendering
+
+Exits 0 even when no sample files exist (printing a hint) so it can run
+unconditionally after a bench job; exits 2 on malformed sample files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Single-series line color (categorical slot 1 of the default palette) and
+#: recessive text/grid inks — one hue per panel, no cycling.
+SERIES_COLOR = "#2a78d6"
+TEXT_SECONDARY = "#52514e"
+SURFACE = "#fcfcfb"
+
+#: Eight-level block ramp used by the ASCII sparklines.
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def load_samples(path: Path) -> list:
+    """The sample list of one ``BENCH_*.json`` file (validated shape)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, list) or not all(isinstance(s, dict) for s in data):
+        raise ValueError(f"{path}: expected a JSON list of sample objects")
+    return data
+
+
+def numeric_series(samples: list) -> dict:
+    """``{metric: [(sample_index, value), ...]}`` for every numeric field.
+
+    The ``bench`` discriminator groups heterogeneous samples sharing one
+    file (e.g. ``BENCH_eval_engine.json`` holds pricing and annealing
+    samples); metrics are namespaced by it.  Booleans and non-numeric
+    fields are skipped.
+    """
+    import math
+
+    series: dict = {}
+    for index, sample in enumerate(samples):
+        bench = sample.get("bench", "")
+        for key, value in sample.items():
+            if key == "bench" or isinstance(value, bool):
+                continue
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                continue
+            label = f"{bench}: {key}" if bench else key
+            series.setdefault(label, []).append((index, float(value)))
+    return series
+
+
+def sparkline(values: list, width: int = 32) -> str:
+    """A fixed-width block-character rendering of a value sequence."""
+    if len(values) > width:
+        # Keep the most recent samples — the end of the trajectory is what
+        # a regression check looks at.
+        values = values[-width:]
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return SPARK_LEVELS[4] * len(values)
+    top = len(SPARK_LEVELS) - 1
+    return "".join(
+        SPARK_LEVELS[1 + round((value - low) / span * (top - 1))]
+        for value in values
+    )
+
+
+def render_ascii(name: str, series: dict) -> str:
+    """The text fallback: one sparkline row per metric."""
+    lines = [f"{name} — {max(len(v) for v in series.values())} sample(s)"]
+    label_width = max(len(label) for label in series)
+    for label in sorted(series):
+        values = [value for _, value in series[label]]
+        lines.append(
+            f"  {label:<{label_width}}  {sparkline(values)}  "
+            f"first {values[0]:,.3g}  min {min(values):,.3g}  "
+            f"max {max(values):,.3g}  last {values[-1]:,.3g}"
+        )
+    return "\n".join(lines)
+
+
+def render_png(name: str, series: dict, out_path: Path) -> None:
+    """One figure per bench file: a grid of single-metric panels."""
+    import math
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    labels = sorted(series)
+    ncols = min(3, len(labels))
+    nrows = math.ceil(len(labels) / ncols)
+    fig, axes = plt.subplots(
+        nrows,
+        ncols,
+        figsize=(4.5 * ncols, 2.8 * nrows),
+        squeeze=False,
+        facecolor=SURFACE,
+    )
+    for panel, label in enumerate(labels):
+        axis = axes[panel // ncols][panel % ncols]
+        xs = [index for index, _ in series[label]]
+        ys = [value for _, value in series[label]]
+        axis.plot(xs, ys, color=SERIES_COLOR, linewidth=2, marker="o", markersize=4)
+        # Direct-label the last point only (selective labelling).
+        axis.annotate(
+            f"{ys[-1]:,.3g}",
+            (xs[-1], ys[-1]),
+            textcoords="offset points",
+            xytext=(4, 4),
+            fontsize=8,
+            color=TEXT_SECONDARY,
+        )
+        axis.set_title(label, fontsize=9, color=TEXT_SECONDARY)
+        axis.set_facecolor(SURFACE)
+        axis.grid(True, linewidth=0.4, alpha=0.35)
+        axis.tick_params(labelsize=7, colors=TEXT_SECONDARY)
+        for spine in axis.spines.values():
+            spine.set_visible(False)
+    for panel in range(len(labels), nrows * ncols):
+        axes[panel // ncols][panel % ncols].set_visible(False)
+    fig.suptitle(f"{name} trajectory (sample index = recorded run)", fontsize=11)
+    fig.tight_layout(rect=(0, 0, 1, 0.96))
+    fig.savefig(out_path, dpi=150)
+    plt.close(fig)
+
+
+def main(argv=None) -> int:
+    """Render every ``BENCH_*.json`` trajectory found in the sample dir."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding BENCH_*.json sample files (default: cwd)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory PNG figures are written to (default: the sample dir)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("auto", "png", "ascii"),
+        default="auto",
+        help="auto uses matplotlib when importable, else the ASCII fallback",
+    )
+    args = parser.parse_args(argv)
+
+    sample_dir = Path(args.dir)
+    out_dir = Path(args.out) if args.out is not None else sample_dir
+    files = sorted(sample_dir.glob("BENCH_*.json"))
+    if not files:
+        print(
+            f"plot_bench: no BENCH_*.json files in {sample_dir.resolve()} — "
+            f"record some with REPRO_BENCH_RECORD=1 (see docs/benchmarks.md)"
+        )
+        return 0
+
+    use_png = args.format == "png"
+    if args.format == "auto":
+        try:
+            import matplotlib  # noqa: F401
+
+            use_png = True
+        except ImportError:
+            print("plot_bench: matplotlib not importable, using the ASCII fallback\n")
+
+    status = 0
+    for path in files:
+        name = path.stem
+        try:
+            series = numeric_series(load_samples(path))
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"plot_bench: skipping {path.name}: {error}")
+            status = 2
+            continue
+        if not series:
+            print(f"plot_bench: {path.name} has no numeric samples, skipping")
+            continue
+        if use_png:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"PLOT_{name.removeprefix('BENCH_')}.png"
+            render_png(name, series, out_path)
+            print(f"plot_bench: {path.name} -> {out_path}")
+        else:
+            print(render_ascii(name, series))
+            print()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

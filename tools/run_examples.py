@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Smoke-run every script in ``examples/`` so documented examples cannot rot.
+
+Two stages, mirroring what a reader would do:
+
+1. **compile** — byte-compile every ``examples/*.py`` (catches syntax rot
+   and Python-version drift instantly);
+2. **run** — execute each script as a subprocess with
+   ``REPRO_EXAMPLES_SMOKE=1`` set, which the heavier examples read to shrink
+   their parameters (smaller pools, fewer generations/restarts, one mesh) so
+   the whole sweep finishes in about a minute.  A non-zero exit, a crash or
+   a per-script timeout fails the gate.
+
+CI runs this as the ``examples`` job; locally::
+
+    python tools/run_examples.py            # smoke parameters
+    python tools/run_examples.py --full     # the examples' real parameters
+    python tools/run_examples.py quickstart # only matching scripts
+
+Exits non-zero when any script fails to compile or run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import py_compile
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Per-script wall-clock budget, generous even for shared CI runners.
+TIMEOUT_SECONDS = 600
+
+
+def main(argv=None) -> int:
+    """Compile and smoke-run the example scripts; report pass/fail per script."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "patterns",
+        nargs="*",
+        help="only run scripts whose filename contains one of these substrings",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run with the examples' real parameters (no smoke shrinking)",
+    )
+    args = parser.parse_args(argv)
+
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    if args.patterns:
+        scripts = [
+            script
+            for script in scripts
+            if any(pattern in script.name for pattern in args.patterns)
+        ]
+    if not scripts:
+        print(f"run_examples: no example scripts matched in {EXAMPLES_DIR}")
+        return 1
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if not args.full:
+        env["REPRO_EXAMPLES_SMOKE"] = "1"
+
+    failures = []
+    for script in scripts:
+        try:
+            py_compile.compile(str(script), doraise=True)
+        except py_compile.PyCompileError as error:
+            print(f"FAIL  {script.name} (compile)\n{error}")
+            failures.append(script.name)
+            continue
+        start = time.perf_counter()
+        try:
+            completed = subprocess.run(
+                [sys.executable, str(script)],
+                cwd=REPO_ROOT,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=TIMEOUT_SECONDS,
+            )
+        except subprocess.TimeoutExpired:
+            print(f"FAIL  {script.name} (timeout after {TIMEOUT_SECONDS}s)")
+            failures.append(script.name)
+            continue
+        elapsed = time.perf_counter() - start
+        if completed.returncode != 0:
+            print(f"FAIL  {script.name} (exit {completed.returncode}, {elapsed:.1f}s)")
+            output = (completed.stdout + completed.stderr).strip()
+            if output:
+                print("\n".join(f"      {line}" for line in output.splitlines()[-25:]))
+            failures.append(script.name)
+        else:
+            print(f"ok    {script.name} ({elapsed:.1f}s)")
+
+    if failures:
+        print(f"\nrun_examples: {len(failures)} of {len(scripts)} script(s) failed: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"\nrun_examples: all {len(scripts)} example script(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
