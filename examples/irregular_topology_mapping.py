@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Mapping search on an irregular NoC fabric with table-backed routing.
+
+The paper evaluates mappings on regular 2D meshes but notes that other
+topologies "can be equally treated"; the pluggable topology redesign makes
+that concrete.  This example maps the image-encoder workload onto two
+12-tile platforms and compares them end to end:
+
+1. the paper-style **4x3 mesh** with deterministic XY routing;
+2. an **irregular fabric** (`repro.noc.IrregularTopology`) — a ring of four
+   hub tiles, each hub serving two leaf tiles — routed by the table-backed
+   BFS shortest-path routing (`"table"` spec), which works on any topology;
+3. the fabric/routing pair is **gated against wormhole deadlock**
+   (`Platform.validate_deadlock_free`, the channel-dependency-graph check)
+   before anything is priced on it;
+4. the same seeded simulated-annealing search runs on both platforms through
+   the same contention-aware CDCM pricing, showing the whole engine stack is
+   topology-agnostic.
+
+Run with:  python examples/irregular_topology_mapping.py
+(set REPRO_EXAMPLES_SMOKE=1 for the tiny-parameter CI smoke configuration)
+"""
+
+import os
+
+from repro import IrregularTopology, Mesh, Platform
+from repro.core.mapping import Mapping
+from repro.eval.context import CdcmEvaluationContext
+from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
+from repro.workloads.embedded import image_encoder
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0", "false")
+
+SEED = 42
+SCHEDULE = AnnealingSchedule(
+    cooling_factor=0.85 if SMOKE else 0.95,
+    max_evaluations=800 if SMOKE else 8_000,
+    stall_plateaus=5 if SMOKE else 15,
+)
+
+#: Four hub tiles in a ring (0-1-2-3), each hub serving two leaves — a
+#: hierarchical fabric no mesh spec can express.  Edges are bidirectional.
+HUB_RING_EDGES = [
+    (0, 1), (1, 2), (2, 3), (3, 0),      # the hub ring
+    (0, 4), (0, 5),                      # leaves of hub 0
+    (1, 6), (1, 7),                      # leaves of hub 1
+    (2, 8), (2, 9),                      # leaves of hub 2
+    (3, 10), (3, 11),                    # leaves of hub 3
+]
+
+
+def run(label: str, platform: Platform, cdcg) -> float:
+    context = CdcmEvaluationContext(cdcg, platform)
+    initial = Mapping.random(cdcg.cores(), platform.num_tiles, rng=SEED)
+    engine = SimulatedAnnealing(schedule=SCHEDULE)
+    result = engine.search(context, initial, rng=SEED)
+    print(
+        f"  {label:<28} best energy {result.best_cost:>12,.1f} pJ   "
+        f"texec {result.metric('time'):>8,.1f} ns   "
+        f"({result.evaluations} evaluations)"
+    )
+    return result.best_cost
+
+
+def main() -> None:
+    cdcg = image_encoder()
+    print(
+        f"application: {cdcg.name} ({cdcg.num_cores} cores, "
+        f"{cdcg.num_packets} packets)"
+    )
+
+    # 1. The paper-style mesh baseline.
+    mesh_platform = Platform(mesh=Mesh(4, 3))
+
+    # 2. The irregular fabric, routed by BFS next-hop tables ("table" spec).
+    fabric = IrregularTopology(HUB_RING_EDGES, name="hub-ring")
+    irregular_platform = Platform(mesh=fabric, routing="table")
+
+    # 3. Gate the new fabric/routing pair before pricing anything on it:
+    # a cyclic channel-dependency graph would mean the modelled network can
+    # deadlock in ways the contention scheduler does not represent.
+    report = irregular_platform.validate_deadlock_free()
+    print(f"deadlock gate: {fabric} with table routing -> {report.describe()}")
+
+    # 4. The same seeded search on both platforms, same pricing model.
+    print("\nsimulated annealing (identical seeds and schedule):")
+    mesh_cost = run(f"{mesh_platform.mesh} / xy", mesh_platform, cdcg)
+    fabric_cost = run(f"{fabric} / table", irregular_platform, cdcg)
+
+    ratio = fabric_cost / mesh_cost
+    print(
+        f"\nthe hub-ring fabric prices at {ratio:.2f}x the mesh's "
+        f"communication energy for this workload -- "
+        + (
+            "hub hops are expensive; a mesh suits this traffic better."
+            if ratio > 1
+            else "its short hub routes suit this traffic pattern."
+        )
+    )
+    print(
+        "every registered engine (greedy through NSGA-II) accepts the same "
+        "irregular platform unchanged; see docs/topologies.md."
+    )
+
+
+if __name__ == "__main__":
+    main()

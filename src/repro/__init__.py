@@ -20,12 +20,18 @@ True
 
 from repro.graphs import CWG, CDCG, CRG, Packet, cdcg_to_cwg
 from repro.noc import (
+    Topology,
     Mesh,
     Torus,
+    IrregularTopology,
+    get_topology,
     NocParameters,
     Platform,
     XYRouting,
     YXRouting,
+    TableRouting,
+    get_routing,
+    validate_deadlock_free,
     CdcmScheduler,
     ScheduleResult,
 )
@@ -92,12 +98,18 @@ __all__ = [
     "CRG",
     "Packet",
     "cdcg_to_cwg",
+    "Topology",
     "Mesh",
     "Torus",
+    "IrregularTopology",
+    "get_topology",
     "NocParameters",
     "Platform",
     "XYRouting",
     "YXRouting",
+    "TableRouting",
+    "get_routing",
+    "validate_deadlock_free",
     "CdcmScheduler",
     "ScheduleResult",
     "Technology",

@@ -17,8 +17,9 @@ module turns priced candidate sets into energy/time fronts:
   ``tests/test_pareto.py``);
 * :func:`front_to_rows` — export a front as plain dict rows for figures,
   CSV/JSON writers and the markdown report helpers;
-* :func:`hypervolume` — the dominated-area indicator over a two-key front,
-  the standard quality measure for comparing fronts from different engines
+* :func:`hypervolume` — the dominated-hypervolume indicator (area for two
+  keys, recursive objective slicing for three or more), the standard
+  quality measure for comparing fronts from different engines
   (e.g. :func:`weight_sweep_front` vs. an
   :class:`~repro.search.nsga2.NSGA2Search` result's ``front``).
 
@@ -326,10 +327,16 @@ def hypervolume(
     reference: Any = None,
     keys: Sequence[str] = DEFAULT_FRONT_KEYS,
 ) -> float:
-    """Dominated area of a two-key front w.r.t. a reference point.
+    """Dominated hypervolume of a front w.r.t. a reference point.
 
-    The standard front-quality indicator: the area of the region weakly
+    The standard front-quality indicator: the measure of the region weakly
     dominated by the front and bounded by *reference* (larger is better).
+    Two keys give the classic dominated *area*; three or more keys recurse
+    by slicing along the first key (each slab's width times the dominated
+    hypervolume of the prefix projected onto the remaining keys), bottoming
+    out at the two-key sweep — so many-objective fronts (e.g. NSGA-II over
+    energy/time/link-load) score with the same call.
+
     Comparing two fronts is only meaningful **under the same reference** —
     pass one explicitly (e.g. the componentwise maximum over the union of
     both fronts) when comparing engines.
@@ -340,23 +347,23 @@ def hypervolume(
         Priced candidates; dominated points are filtered out first, so any
         point set is accepted, not just a clean front.
     reference:
-        The bounding point, as a ``{key: value}`` mapping or a pair aligned
-        with *keys*.  ``None`` uses the componentwise maximum over *points*
-        (which prices the boundary points' own rectangles at zero — fine for
-        a single front, wrong for cross-front comparison unless both share
-        it).
+        The bounding point, as a ``{key: value}`` mapping or a sequence
+        aligned with *keys*.  ``None`` uses the componentwise maximum over
+        *points* (which prices the boundary points' own contribution at
+        zero — fine for a single front, wrong for cross-front comparison
+        unless both share it).
     keys:
-        Exactly two metric names (all minimised).
+        At least two metric names (all minimised).
 
     Returns
     -------
     float
-        The dominated area; 0.0 for an empty point set.
+        The dominated hypervolume; 0.0 for an empty point set.
     """
     keys = tuple(keys)
-    if len(keys) != 2:
+    if len(keys) < 2:
         raise ConfigurationError(
-            f"hypervolume is defined over exactly two metric keys, got {keys!r}"
+            f"hypervolume needs at least two metric keys, got {keys!r}"
         )
     if not points:
         return 0.0
@@ -366,22 +373,57 @@ def hypervolume(
             key: max(point.metrics[key] for point in points) for key in keys
         }
     if isinstance(reference, dict):
-        bound_x = float(reference[keys[0]])
-        bound_y = float(reference[keys[1]])
+        try:
+            bounds = tuple(float(reference[key]) for key in keys)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"reference is missing a bound for key {exc.args[0]!r} "
+                f"(keys requested: {keys!r})"
+            ) from exc
     else:
-        bound_x, bound_y = (float(value) for value in reference)
+        bounds = tuple(float(value) for value in reference)
+        if len(bounds) != len(keys):
+            raise ConfigurationError(
+                f"reference has {len(bounds)} components but {len(keys)} "
+                f"keys were requested"
+            )
+    values = [tuple(point.metrics[key] for key in keys) for point in front]
+    return _sliced_hypervolume(values, bounds)
+
+
+def _sliced_hypervolume(
+    values: List[Tuple[float, ...]], bounds: Tuple[float, ...]
+) -> float:
+    """Recursive objective-slicing hypervolume over raw value tuples.
+
+    Slices along the first coordinate: between two consecutive distinct
+    first-coordinate values, exactly the points at or left of the slab
+    dominate, so the slab contributes its width times the hypervolume of
+    that prefix projected onto the remaining coordinates.  The two-key base
+    case is the same ascending sweep as the public function's area loop.
+    """
+    if len(bounds) == 2:
+        bound_x, bound_y = bounds
+        total = 0.0
+        ceiling = bound_y
+        for x, y in sorted(set(values)):
+            if x >= bound_x or y >= ceiling:
+                continue
+            total += (bound_x - x) * (ceiling - y)
+            ceiling = y
+        return total
+    ordered = sorted(set(values))
     total = 0.0
-    ceiling = bound_y
-    # The front is sorted ascending by keys[0], so keys[1] descends strictly;
-    # each point contributes the rectangle between it, the reference x-bound
-    # and the previous point's y-value.
-    for point in front:
-        x = point.metrics[keys[0]]
-        y = point.metrics[keys[1]]
-        if x >= bound_x or y >= ceiling:
+    for index, value in enumerate(ordered):
+        x = value[0]
+        if x >= bounds[0]:
+            break
+        next_x = ordered[index + 1][0] if index + 1 < len(ordered) else bounds[0]
+        width = min(next_x, bounds[0]) - x
+        if width <= 0.0:
             continue
-        total += (bound_x - x) * (ceiling - y)
-        ceiling = y
+        prefix = [other[1:] for other in ordered[: index + 1]]
+        total += width * _sliced_hypervolume(prefix, bounds[1:])
     return total
 
 

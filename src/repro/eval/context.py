@@ -30,7 +30,11 @@ an already-priced population for free.  The context exposes:
 Contexts are *picklable-light*: pickling keeps the application graph and the
 platform but drops the memo, the backend and the route table — the unpickling
 process rebuilds the table through the process-wide
-:func:`~repro.eval.route_table.get_route_table` cache.  This is what lets
+:func:`~repro.eval.route_table.get_route_table` cache.  The platform carries
+the full topology identity (mesh, torus or
+:class:`~repro.noc.topology.IrregularTopology` — anything with a stable
+``cache_token``), so a worker's rebuilt table is bit-identical to the
+parent's for any topology, not just meshes.  This is what lets
 :class:`~repro.eval.parallel.ProcessPoolBackend` ship contexts to workers
 without serialising O(n^2) route arrays.
 

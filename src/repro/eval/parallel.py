@@ -446,7 +446,7 @@ def warm_route_table(
     Parameters
     ----------
     platform:
-        Target architecture (mesh/torus, routing, technology).
+        Target architecture (topology, routing, technology).
     include_local:
         Whether local core-router links contribute to per-bit route energy.
     backend:
@@ -469,10 +469,13 @@ def warm_route_table(
         )
     else:
         n = platform.num_tiles
-        width = platform.mesh.width
+        # One shard per mesh row; topologies without a grid embedding fall
+        # back to sqrt(n)-sized slices (same concatenation order either way,
+        # so the assembled table is identical regardless of sharding).
+        span = getattr(platform.mesh, "width", None) or max(1, math.isqrt(n))
         shards: List[Tuple["Platform", bool, int, int]] = []
-        for start in range(0, n, width):
-            shards.append((platform, include_local, start, min(start + width, n)))
+        for start in range(0, n, span):
+            shards.append((platform, include_local, start, min(start + span, n)))
         rows = backend.map(_route_rows, shards)
         paths: List[Tuple[int, ...]] = []
         links: List[Tuple[Tuple[int, int], ...]] = []

@@ -12,10 +12,13 @@ evaluation, every scheduler replay and every greedy placement probe.
 :class:`RouteTable` computes all four answers once per platform and serves
 them as O(1) lookups.  Tables are small (``n**2`` entries for an ``n``-tile
 NoC; 4 096 entries for an 8x8 mesh) and are shared process-wide through
-:func:`get_route_table`, keyed by the platform's mesh, routing algorithm
-class, technology and local-link flag — so the CWM evaluator, the CDCM
-scheduler, the greedy constructor and the benchmarks all price mappings
-against the same precomputed tables.
+:func:`get_route_table`, keyed by the topology's stable
+:attr:`~repro.noc.topology.Topology.cache_token`, the routing algorithm's
+``cache_token``, the technology and the local-link flag — so the CWM
+evaluator, the CDCM scheduler, the greedy constructor and the benchmarks all
+price mappings against the same precomputed tables, and meshes, tori and
+irregular fabrics (with distinct tokens) can never alias each other's
+tables.
 
 For very large NoCs (more than ``_EAGER_PAIR_LIMIT`` pairs) the table turns
 into a lazy per-pair memo instead of an eager precomputation, so sweeps over
@@ -27,13 +30,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.energy.bit_energy import bit_energy_route
+from repro.noc.topology import topology_cache_token
 from repro.utils.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - imports only used by type checkers
     from repro.energy.technology import Technology
     from repro.noc.platform import Platform
     from repro.noc.routing import RoutingAlgorithm
-    from repro.noc.topology import Mesh
+    from repro.noc.topology import Topology
 
 #: Above this many (source, target) pairs the table fills lazily on demand.
 _EAGER_PAIR_LIMIT = 1 << 16
@@ -45,7 +49,9 @@ class RouteTable:
     Parameters
     ----------
     mesh:
-        Topology the routes are computed over (mesh or torus).
+        Topology the routes are computed over (mesh, torus or irregular —
+        any :class:`~repro.noc.topology.Topology`; the parameter keeps the
+        paper's name, aliased as :attr:`topology`).
     routing:
         Deterministic routing algorithm; must be stateless, as all routing
         algorithms in :mod:`repro.noc.routing` are.
@@ -74,7 +80,7 @@ class RouteTable:
 
     def __init__(
         self,
-        mesh: "Mesh",
+        mesh: "Topology",
         routing: "RoutingAlgorithm",
         technology: "Technology",
         include_local: bool = True,
@@ -133,7 +139,7 @@ class RouteTable:
     @classmethod
     def from_tables(
         cls,
-        mesh: "Mesh",
+        mesh: "Topology",
         routing: "RoutingAlgorithm",
         technology: "Technology",
         include_local: bool,
@@ -194,6 +200,11 @@ class RouteTable:
     def is_precomputed(self) -> bool:
         """True when every pair was materialised eagerly at construction."""
         return self._eager
+
+    @property
+    def topology(self) -> "Topology":
+        """The topology the routes are computed over (alias of ``mesh``)."""
+        return self.mesh
 
     # ------------------------------------------------------------------
     # Lookups
@@ -269,18 +280,34 @@ _TABLE_CACHE: Dict[Tuple, RouteTable] = {}
 _TABLE_CACHE_LIMIT = 32
 
 
+def _routing_token(routing: "RoutingAlgorithm") -> Tuple:
+    token = getattr(routing, "cache_token", None)
+    if token is not None:
+        return token
+    cls = type(routing)
+    return (cls.__module__, cls.__qualname__)
+
+
 def _cache_key(platform: "Platform", include_local: bool) -> Tuple:
-    return (platform.mesh, type(platform.routing), platform.technology, include_local)
+    return (
+        topology_cache_token(platform.mesh),
+        _routing_token(platform.routing),
+        platform.technology,
+        include_local,
+    )
 
 
 def get_route_table(platform: "Platform", include_local: bool = True) -> RouteTable:
     """Shared :class:`RouteTable` for *platform*.
 
-    Tables are cached by ``(mesh, routing class, technology, include_local)``;
-    every evaluator, scheduler and search helper bound to the same platform
-    therefore reuses one table.  The cache assumes routing algorithms are
-    stateless (true for all of :mod:`repro.noc.routing`); a stateful custom
-    algorithm should build :meth:`RouteTable.for_platform` directly.
+    Tables are cached by ``(topology cache_token, routing cache_token,
+    technology, include_local)``; every evaluator, scheduler and search
+    helper bound to the same platform therefore reuses one table, and two
+    topology objects share a table exactly when their tokens — which embed
+    the concrete class, so wrap-capable subclasses never alias — agree.
+    The cache assumes routing algorithms are deterministic and stateless
+    (true for all of :mod:`repro.noc.routing`); a stateful custom algorithm
+    should build :meth:`RouteTable.for_platform` directly.
     """
     key = _cache_key(platform, include_local)
     table = _TABLE_CACHE.get(key)

@@ -1,15 +1,27 @@
 """NoC substrate: topology, routing, platform parameters and the packet scheduler.
 
-This package models the target architecture of the paper: a regular 2D-mesh
-NoC with wormhole switching and deterministic XY routing.  It provides:
+This package models the target architecture of the paper — a regular 2D-mesh
+NoC with wormhole switching and deterministic XY routing — and generalises it
+behind pluggable, registry-addressable protocols.  It provides:
 
-* :class:`~repro.noc.topology.Mesh` and :func:`~repro.noc.topology.build_mesh_crg`
-  — the regular mesh and its communication resource graph (CRG);
-* :mod:`~repro.noc.routing` — deterministic XY / YX routing functions;
+* :class:`~repro.noc.topology.Topology` — the topology protocol (tiles,
+  adjacency, CRG view, ``wraps_x``/``wraps_y`` capability flags, stable
+  ``cache_token``), with :class:`~repro.noc.topology.Mesh`,
+  :class:`~repro.noc.topology.Torus` and the CRG-backed
+  :class:`~repro.noc.topology.IrregularTopology` conforming, plus the spec
+  registry (:func:`~repro.noc.topology.get_topology`, ``"mesh:4x4"``);
+* :mod:`~repro.noc.routing` — deterministic routing functions (XY / YX
+  dimension-ordered, west-first / negative-first turn models, and the
+  any-topology BFS :class:`~repro.noc.routing.TableRouting`) behind a spec
+  registry (:func:`~repro.noc.routing.get_routing`);
+* :mod:`~repro.noc.deadlock` — the channel-dependency-graph validator
+  (:func:`~repro.noc.deadlock.validate_deadlock_free`) gating
+  routing/topology pairs against wormhole deadlock;
 * :class:`~repro.noc.platform.NocParameters` and
   :class:`~repro.noc.platform.Platform` — the wormhole timing parameters
   (``tr``, ``tl``, clock period, flit width) and the bundle of everything a
-  cost model needs (mesh + routing + parameters + technology);
+  cost model needs (topology + routing + parameters + technology), both
+  accepting registry spec strings;
 * :mod:`~repro.noc.resources` — identifiers for the shared resources a packet
   reserves (routers, inter-router links, local core links);
 * :class:`~repro.noc.scheduler.CdcmScheduler` — the contention-aware
@@ -18,12 +30,31 @@ NoC with wormhole switching and deterministic XY routing.  It provides:
   (Section 4 of the paper, reproduced exactly on the Figure 3/4/5 example).
 """
 
-from repro.noc.topology import Mesh, Torus, build_mesh_crg
+from repro.noc.topology import (
+    Topology,
+    Mesh,
+    Torus,
+    IrregularTopology,
+    build_mesh_crg,
+    available_topologies,
+    register_topology,
+    get_topology,
+)
 from repro.noc.routing import (
     RoutingAlgorithm,
     XYRouting,
     YXRouting,
+    WestFirstRouting,
+    NegativeFirstRouting,
+    TableRouting,
+    available_routings,
+    register_routing,
     get_routing,
+)
+from repro.noc.deadlock import (
+    DeadlockReport,
+    channel_dependency_graph,
+    validate_deadlock_free,
 )
 from repro.noc.platform import NocParameters, Platform
 from repro.noc.resources import (
@@ -36,13 +67,26 @@ from repro.noc.resources import (
 from repro.noc.scheduler import CdcmScheduler, ScheduleResult, PacketSchedule
 
 __all__ = [
+    "Topology",
     "Mesh",
     "Torus",
+    "IrregularTopology",
     "build_mesh_crg",
+    "available_topologies",
+    "register_topology",
+    "get_topology",
     "RoutingAlgorithm",
     "XYRouting",
     "YXRouting",
+    "WestFirstRouting",
+    "NegativeFirstRouting",
+    "TableRouting",
+    "available_routings",
+    "register_routing",
     "get_routing",
+    "DeadlockReport",
+    "channel_dependency_graph",
+    "validate_deadlock_free",
     "NocParameters",
     "Platform",
     "Resource",

@@ -1,25 +1,33 @@
-"""Platform description: wormhole timing parameters + mesh + routing + technology.
+"""Platform description: wormhole timing parameters + topology + routing + technology.
 
 A :class:`Platform` bundles everything the cost models need to evaluate a
 mapping:
 
-* the :class:`~repro.noc.topology.Mesh` (the CRG of Definition 3),
+* the :class:`~repro.noc.topology.Topology` (the CRG of Definition 3 — a
+  :class:`~repro.noc.topology.Mesh`, :class:`~repro.noc.topology.Torus` or
+  :class:`~repro.noc.topology.IrregularTopology`),
 * a deterministic :class:`~repro.noc.routing.RoutingAlgorithm`,
 * the wormhole switching parameters of equations (6)–(8)
   (:class:`NocParameters`: routing cycles ``tr``, link cycles ``tl``, clock
   period ``lambda``, flit width),
 * a :class:`~repro.energy.technology.Technology` (per-bit energies and router
   leakage).
+
+Both the topology and the routing accept registry *spec strings* —
+``Platform(mesh="torus:4x4", routing="table")`` resolves them through
+:func:`~repro.noc.topology.get_topology` and
+:func:`~repro.noc.routing.get_routing` at construction, so platforms are
+fully configurable by name (configuration files, benchmark matrices).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.energy.technology import TECH_0_07UM, Technology
-from repro.noc.routing import RoutingAlgorithm, XYRouting
-from repro.noc.topology import Mesh
+from repro.noc.routing import RoutingAlgorithm, XYRouting, get_routing
+from repro.noc.topology import Mesh, Topology, get_topology
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import bits_to_flits
 
@@ -98,18 +106,38 @@ PAPER_EXAMPLE_PARAMETERS = NocParameters(
 
 @dataclass(frozen=True)
 class Platform:
-    """Complete target-architecture description used by the cost models."""
+    """Complete target-architecture description used by the cost models.
 
-    mesh: Mesh
-    routing: RoutingAlgorithm = field(default_factory=XYRouting)
+    The ``mesh`` field (named for the paper's default substrate, aliased as
+    :attr:`topology`) holds any :class:`~repro.noc.topology.Topology`; both
+    it and ``routing`` also accept registry spec strings, resolved once at
+    construction.
+    """
+
+    mesh: Union[Topology, str]
+    routing: Union[RoutingAlgorithm, str] = field(default_factory=XYRouting)
     parameters: NocParameters = field(default_factory=NocParameters)
     technology: Technology = TECH_0_07UM
+
+    def __post_init__(self) -> None:
+        if isinstance(self.mesh, str):
+            object.__setattr__(self, "mesh", get_topology(self.mesh))
+        if isinstance(self.routing, str):
+            object.__setattr__(self, "routing", get_routing(self.routing))
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
+    def topology(self) -> Topology:
+        """The NoC topology (alias of the ``mesh`` field, which predates
+        the pluggable-topology redesign and also holds tori and irregular
+        fabrics)."""
+        return self.mesh
+
+    @property
     def num_tiles(self) -> int:
+        """Total number of tiles of the topology."""
         return self.mesh.num_tiles
 
     def route(self, source_tile: int, target_tile: int) -> List[int]:
@@ -128,9 +156,26 @@ class Platform:
         """Copy of this platform with a different technology."""
         return replace(self, technology=technology)
 
-    def with_routing(self, routing: RoutingAlgorithm) -> "Platform":
-        """Copy of this platform with a different routing algorithm."""
+    def with_routing(self, routing: Union[RoutingAlgorithm, str]) -> "Platform":
+        """Copy of this platform with a different routing algorithm (or spec)."""
         return replace(self, routing=routing)
+
+    def with_topology(self, topology: Union[Topology, str]) -> "Platform":
+        """Copy of this platform with a different topology (or spec string)."""
+        return replace(self, mesh=topology)
+
+    def validate_deadlock_free(self, raise_on_cycle: bool = True):
+        """Gate this platform's routing/topology pair against wormhole deadlock.
+
+        Delegates to :func:`repro.noc.deadlock.validate_deadlock_free`; call
+        it once after assembling a platform with a table-backed or custom
+        routing, before any contention-aware pricing.
+        """
+        from repro.noc.deadlock import validate_deadlock_free
+
+        return validate_deadlock_free(
+            self.mesh, self.routing, raise_on_cycle=raise_on_cycle
+        )
 
     def with_parameters(self, parameters: NocParameters) -> "Platform":
         """Copy of this platform with different wormhole parameters."""

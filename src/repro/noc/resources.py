@@ -89,10 +89,12 @@ class Occupation:
 
     @property
     def interval(self) -> Tuple[float, float]:
+        """The occupation's ``(start, end)`` time pair, in nanoseconds."""
         return (self.start, self.end)
 
     @property
     def duration(self) -> float:
+        """How long the packet occupied the resource, in nanoseconds."""
         return self.end - self.start
 
     def overlaps(self, other: "Occupation") -> bool:

@@ -218,15 +218,29 @@ class GreedyConstructive(Searcher):
         return Mapping(placed, num_tiles=mesh.num_tiles)
 
     def _most_central_tile(self, tiles: List[int]) -> int:
-        mesh = self.platform.mesh
-        cx = (mesh.width - 1) / 2.0
-        cy = (mesh.height - 1) / 2.0
+        topology = self.platform.mesh
+        if hasattr(topology, "width") and hasattr(topology, "position_of"):
+            cx = (topology.width - 1) / 2.0
+            cy = (topology.height - 1) / 2.0
 
-        def centrality(tile: int) -> Tuple[float, int]:
-            x, y = mesh.position_of(tile)
-            return (abs(x - cx) + abs(y - cy), tile)
+            def centrality(tile: int) -> Tuple[float, int]:
+                x, y = topology.position_of(tile)
+                return (abs(x - cx) + abs(y - cy), tile)
 
-        return min(tiles, key=centrality)
+            return min(tiles, key=centrality)
+
+        # Irregular fabrics have no grid centre; the closeness-centrality
+        # seed (minimal total hop distance off the shared route table) is
+        # deterministic and degrades to the grid answer on symmetric meshes.
+        hop_count = self._route_table.hop_count
+
+        def hop_centrality(tile: int) -> Tuple[int, int]:
+            return (
+                sum(hop_count(tile, other) for other in range(topology.num_tiles)),
+                tile,
+            )
+
+        return min(tiles, key=hop_centrality)
 
 
 __all__ = ["GreedyConstructive"]

@@ -52,9 +52,22 @@ class SuiteEntry:
     group: str = "small"
 
     @property
+    def topology(self):
+        """The entry's NoC topology (alias of ``mesh`` — any
+        :class:`~repro.noc.topology.Topology` works for custom entries; the
+        Table 1 rows are all meshes)."""
+        return self.mesh
+
+    @property
     def noc_label(self) -> str:
-        """Table-style NoC size label, e.g. ``"3 x 2"``."""
-        return f"{self.mesh.width} x {self.mesh.height}"
+        """Table-style NoC size label, e.g. ``"3 x 2"``.
+
+        Falls back to ``str(topology)`` for custom entries whose topology
+        has no grid dimensions.
+        """
+        if hasattr(self.mesh, "width"):
+            return f"{self.mesh.width} x {self.mesh.height}"
+        return str(self.mesh)
 
     def build(self, computation_scale: float = 0.5) -> CDCG:
         """Generate the benchmark CDCG for this entry.

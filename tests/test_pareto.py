@@ -19,6 +19,7 @@ from repro.analysis.pareto import (
     ParetoPoint,
     dominates,
     front_to_rows,
+    hypervolume,
     metric_points,
     non_dominated,
     pareto_front,
@@ -446,3 +447,102 @@ class TestSearchIntegration:
         assert view.with_weights({"time": 1.0})(mapping) == vector["time"]
         batch = framework.evaluate_metrics_batch([mapping], model="cdcm")
         assert batch == [vector]
+
+
+def _nd_point(index: int, names, values) -> ParetoPoint:
+    """A ParetoPoint with an arbitrary-dimension metric vector."""
+    return ParetoPoint(
+        mapping=Mapping({"a": index}, num_tiles=256),
+        metrics=MetricVector(tuple(names), tuple(values)),
+    )
+
+
+class TestHypervolume:
+    """The dominated-hypervolume indicator, two-key base and n-key recursion."""
+
+    KEYS3 = ("energy", "time", "load")
+
+    def test_two_key_rectangle(self):
+        point = _point(0, 1.0, 1.0)
+        assert hypervolume([point], reference={"energy": 3.0, "time": 2.0}) == 2.0
+
+    def test_two_key_staircase(self):
+        points = [_point(0, 1.0, 3.0), _point(1, 2.0, 1.0)]
+        reference = {"energy": 4.0, "time": 4.0}
+        # (4-1)*(4-3) + (4-2)*(3-1) = 3 + 4
+        assert hypervolume(points, reference=reference) == 7.0
+
+    def test_empty_set_and_default_reference(self):
+        assert hypervolume([]) == 0.0
+        # Componentwise max over the set: each boundary point touches the
+        # reference in one coordinate, so only interior points gain area.
+        points = [_point(0, 1.0, 3.0), _point(1, 2.0, 2.0), _point(2, 3.0, 1.0)]
+        assert hypervolume(points) == (3.0 - 2.0) * (3.0 - 2.0)
+
+    def test_single_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hypervolume([_point(0, 1.0, 1.0)], keys=("energy",))
+
+    def test_three_key_unit_cube(self):
+        point = _nd_point(0, self.KEYS3, (0.0, 0.0, 0.0))
+        assert (
+            hypervolume([point], reference=(1.0, 1.0, 1.0), keys=self.KEYS3) == 1.0
+        )
+
+    def test_three_key_union_of_boxes(self):
+        points = [
+            _nd_point(0, self.KEYS3, (0.0, 1.0, 1.0)),
+            _nd_point(1, self.KEYS3, (1.0, 0.0, 0.0)),
+        ]
+        # Boxes to (2,2,2): 2*1*1 + 1*2*2 - overlap 1*1*1 = 5.
+        assert (
+            hypervolume(points, reference=(2.0, 2.0, 2.0), keys=self.KEYS3) == 5.0
+        )
+
+    def test_three_key_dominated_point_adds_nothing(self):
+        clean = [
+            _nd_point(0, self.KEYS3, (0.0, 1.0, 1.0)),
+            _nd_point(1, self.KEYS3, (1.0, 0.0, 0.0)),
+        ]
+        noisy = clean + [_nd_point(2, self.KEYS3, (1.5, 1.5, 1.5))]
+        reference = (2.0, 2.0, 2.0)
+        assert hypervolume(noisy, reference=reference, keys=self.KEYS3) == (
+            hypervolume(clean, reference=reference, keys=self.KEYS3)
+        )
+
+    def test_three_key_degenerate_axis_matches_two_key(self):
+        # A constant third key slices to (reference - constant) times the
+        # two-key area — the recursion's base case contract.
+        pairs = [(1.0, 3.0), (2.0, 1.0)]
+        flat = [
+            _nd_point(i, self.KEYS3, (e, t, 1.0)) for i, (e, t) in enumerate(pairs)
+        ]
+        planar = [_point(i, e, t) for i, (e, t) in enumerate(pairs)]
+        reference2 = {"energy": 4.0, "time": 4.0}
+        area = hypervolume(planar, reference=reference2)
+        volume = hypervolume(flat, reference=(4.0, 4.0, 3.0), keys=self.KEYS3)
+        assert volume == pytest.approx(area * (3.0 - 1.0))
+
+    def test_four_key_hypercube(self):
+        names = ("a", "b", "c", "d")
+        point = _nd_point(0, names, (0.0, 0.0, 0.0, 0.0))
+        assert (
+            hypervolume([point], reference=(2.0, 2.0, 2.0, 2.0), keys=names)
+            == 16.0
+        )
+
+    def test_mismatched_reference_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hypervolume(
+                [_nd_point(0, self.KEYS3, (0.0, 0.0, 0.0))],
+                reference=(1.0, 1.0),
+                keys=self.KEYS3,
+            )
+
+    def test_dict_reference_missing_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hypervolume(
+                [_nd_point(0, self.KEYS3, (0.0, 0.0, 0.0))],
+                reference={"energy": 1.0, "time": 1.0},
+                keys=self.KEYS3,
+            )

@@ -20,6 +20,12 @@ Two checks, zero third-party dependencies:
    section heading in ``docs/search.md`` naming its registry identifier, so
    a new engine cannot land undocumented.
 
+4. **Topology guide coverage** — every topology class exported by
+   ``repro.noc`` must have a section heading in ``docs/topologies.md``, and
+   every registered routing spec (``repro.noc.routing.available_routings``)
+   must appear in the guide's spec table, so a new topology or routing
+   cannot land undocumented.
+
 Exits non-zero with a list of violations; run from the repository root:
 
     PYTHONPATH=src python tools/check_docs.py
@@ -37,7 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages whose public API must be fully documented.
-PACKAGES = ["repro.eval", "repro.search"]
+PACKAGES = ["repro.eval", "repro.search", "repro.noc"]
 
 #: Markdown files whose relative links are verified.
 DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
@@ -168,8 +174,55 @@ def check_engine_sections() -> list:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Topology guide coverage
+# ----------------------------------------------------------------------
+def check_topology_sections() -> list:
+    """Every shipped topology and routing spec needs docs/topologies.md cover."""
+    import repro.noc as noc_package
+    from repro.noc.routing import available_routings
+    from repro.noc.topology import Topology
+
+    guide = REPO_ROOT / "docs" / "topologies.md"
+    if not guide.exists():
+        return ["docs/topologies.md: file missing (the topology & routing guide)"]
+    text = guide.read_text()
+    headings = _HEADING_RE.findall(text)
+    problems = []
+    for name in noc_package.__all__:
+        member = getattr(noc_package, name, None)
+        if (
+            not inspect.isclass(member)
+            or not issubclass(member, Topology)
+            or member is Topology
+        ):
+            continue
+        if not any(member.__name__ in heading for heading in headings):
+            problems.append(
+                f"docs/topologies.md: no section heading names topology "
+                f"{member.__name__!r}"
+            )
+    for spec in available_routings():
+        if f"`{spec}`" not in text:
+            problems.append(
+                f"docs/topologies.md: routing spec `{spec}` missing from the "
+                f"spec table"
+            )
+    if "validate_deadlock_free" not in text:
+        problems.append(
+            "docs/topologies.md: no deadlock-validation guidance "
+            "(validate_deadlock_free is never mentioned)"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_docstrings() + check_links() + check_engine_sections()
+    problems = (
+        check_docstrings()
+        + check_links()
+        + check_engine_sections()
+        + check_topology_sections()
+    )
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
         for problem in problems:
