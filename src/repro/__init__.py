@@ -64,6 +64,9 @@ from repro.eval import (
     SerialBackend,
     ProcessPoolBackend,
     warm_route_table,
+    VectorizedCwmKernel,
+    population_to_array,
+    array_to_mappings,
 )
 from repro.search import (
     SimulatedAnnealing,
@@ -136,6 +139,9 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "warm_route_table",
+    "VectorizedCwmKernel",
+    "population_to_array",
+    "array_to_mappings",
     "SimulatedAnnealing",
     "AnnealingSchedule",
     "ExhaustiveSearch",

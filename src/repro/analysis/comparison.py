@@ -62,6 +62,15 @@ class ComparisonConfig:
         accept and change a published row).  The comparison still gains the
         route-table pricing speedup either way; set True for production-scale
         sweeps where raw throughput matters more than bit-stable tables.
+    vectorize:
+        Let CWM batch misses be priced by the NumPy array kernel
+        (:mod:`repro.eval.vector`).  Defaults to False here — and only here —
+        for the same bit-stable-tables rationale as ``use_delta``: the kernel
+        is bit-identical to the scalar loop by construction (and
+        property-pinned), but the reproduced rows deliberately exercise the
+        seed arithmetic path, so the comparison keeps the scalar accumulator
+        unless explicitly asked otherwise.  Everywhere else the gate
+        defaults on.
     """
 
     method: str = "annealing"
@@ -69,6 +78,7 @@ class ComparisonConfig:
     annealing_schedule: Optional[AnnealingSchedule] = None
     restarts: int = 1
     use_delta: bool = False
+    vectorize: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in ("annealing", "sa", "exhaustive", "es"):
@@ -175,7 +185,7 @@ def compare_models(
     point.
     """
     config = config or ComparisonConfig()
-    framework = FRWFramework(cdcg, platform)
+    framework = FRWFramework(cdcg, platform, vectorize=config.vectorize)
     base_rng = ensure_rng(seed)
 
     cwm_best: Optional[MappingOutcome] = None

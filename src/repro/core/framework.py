@@ -98,6 +98,14 @@ class FRWFramework:
         Optional explicit CWG.  Must be consistent with the CDCG; supplying it
         is only useful when the application was natively captured as a CWG and
         the CDCG was produced later by hand, as the paper describes.
+    vectorize:
+        Forwarded to every :class:`CwmEvaluationContext` the framework builds
+        (the shared context and each :meth:`objective` context): whether CWM
+        batch misses are priced by the NumPy array kernel of
+        :mod:`repro.eval.vector`.  ``None`` (default) follows the
+        context's default — on; the comparison driver pins it off for the
+        reproduced paper rows (see
+        :class:`~repro.analysis.comparison.ComparisonConfig`).
     """
 
     def __init__(
@@ -105,6 +113,7 @@ class FRWFramework:
         cdcg: CDCG,
         platform: Platform,
         cwg: Optional[CWG] = None,
+        vectorize: Optional[bool] = None,
     ) -> None:
         cdcg.validate()
         if cdcg.num_cores > platform.num_tiles:
@@ -119,8 +128,9 @@ class FRWFramework:
         # objective handed to a search engine, and every evaluate() call,
         # prices mappings against the same precomputed tables and memo.
         self.route_table = get_route_table(platform)
+        self._vectorize = vectorize
         self._cwm_context = CwmEvaluationContext(
-            self.cwg, platform, route_table=self.route_table
+            self.cwg, platform, route_table=self.route_table, vectorize=vectorize
         )
         self._cdcm_context = CdcmEvaluationContext(
             self.cdcg, platform, route_table=self.route_table
@@ -165,7 +175,10 @@ class FRWFramework:
         """
         if model == "cwm":
             context = CwmEvaluationContext(
-                self.cwg, self.platform, route_table=self.route_table
+                self.cwg,
+                self.platform,
+                route_table=self.route_table,
+                vectorize=self._vectorize,
             )
             if weights is not None:
                 return ScalarisedObjective(context, weights)

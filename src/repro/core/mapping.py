@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.utils.errors import MappingError
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -121,6 +123,42 @@ class Mapping:
         total = num_tiles if num_tiles is not None else len(cores)
         return cls({core: idx for idx, core in enumerate(cores)}, num_tiles=total)
 
+    @classmethod
+    def from_index_array(
+        cls,
+        cores: Sequence[str],
+        tiles: "np.ndarray | Sequence[int]",
+        num_tiles: Optional[int] = None,
+    ) -> "Mapping":
+        """Rebuild a mapping from a tile-index row (:meth:`to_index_array` inverse).
+
+        ``tiles[i]`` is the tile hosting ``cores[i]``; the two sequences must
+        have equal length.  The usual constructor validation applies
+        (injectivity, range when *num_tiles* is given), so
+        ``Mapping.from_index_array(m.cores, m.to_index_array(), m.num_tiles)``
+        round-trips to an equal mapping for any core order — though the
+        *pinned* contract used by array populations everywhere is the default
+        :meth:`to_index_array` order: the sorted core names of the bound CWG.
+
+        Parameters
+        ----------
+        cores:
+            Core names, positionally matching *tiles*.
+        tiles:
+            Integer tile indices (any integer dtype; one per core).
+        num_tiles:
+            Optional NoC size forwarded to the constructor.
+        """
+        cores = list(cores)
+        if len(cores) != len(tiles):
+            raise MappingError(
+                f"{len(cores)} cores but {len(tiles)} tile indices"
+            )
+        return cls(
+            {core: int(tile) for core, tile in zip(cores, tiles)},
+            num_tiles=num_tiles,
+        )
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
@@ -151,6 +189,33 @@ class Mapping:
     def assignments(self) -> Dict[str, int]:
         """Copy of the core -> tile dictionary."""
         return dict(self._core_to_tile)
+
+    def to_index_array(self, cores: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Tile indices as an int64 row, one entry per core.
+
+        This is the ``Mapping`` half of the array-population protocol used by
+        the vectorised pricing kernel (:mod:`repro.eval.vector`): a population
+        is a ``(pop, cores)`` int array whose row *r*, column *c* holds the
+        tile of the *c*-th core.  The **pinned core-order contract** is the
+        default ``cores=None`` order — :attr:`cores`, i.e. the sorted core
+        names of the bound CWG — so arrays produced by different call sites
+        always agree column-for-column.  Pass an explicit *cores* sequence
+        only when interoperating with a kernel bound to a custom order.
+
+        Raises
+        ------
+        MappingError
+            If a requested core is not placed by this mapping.
+        """
+        order = self.cores if cores is None else cores
+        lookup = self._core_to_tile
+        row = np.empty(len(order), dtype=np.int64)
+        for column, core in enumerate(order):
+            try:
+                row[column] = lookup[core]
+            except KeyError as exc:
+                raise MappingError(f"core {core!r} is not mapped") from exc
+        return row
 
     def used_tiles(self) -> List[int]:
         """Tiles hosting a core, sorted."""

@@ -38,6 +38,14 @@ uncached candidates of a batch are priced —
 shards eager route-table construction by source row
 (:func:`~repro.eval.parallel.warm_route_table`) for >16x16 NoC sweeps.
 
+A fourth, vectorised half (:mod:`repro.eval.vector`) moves batch pricing onto
+NumPy: :class:`~repro.eval.vector.VectorizedCwmKernel` binds an application
+as flat edge arrays over the route table's dense matrices
+(:meth:`~repro.eval.route_table.RouteTable.as_arrays`) and prices a whole
+``(pop, cores)`` population per call — bit-identical to the scalar
+accumulator, default-on for search and pinned off by the paper-reproduction
+comparison config.
+
 Search engines discover delta support through the objective's
 ``supports_delta`` attribute (see :func:`repro.search.base.delta_callable`),
 batch support through ``supports_batch`` (see
@@ -64,6 +72,12 @@ from repro.eval.parallel import (
     SerialBackend,
     warm_route_table,
 )
+from repro.eval.vector import (
+    DEFAULT_VECTORIZE,
+    VectorizedCwmKernel,
+    array_to_mappings,
+    population_to_array,
+)
 
 __all__ = [
     "RouteTable",
@@ -79,4 +93,8 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "warm_route_table",
+    "DEFAULT_VECTORIZE",
+    "VectorizedCwmKernel",
+    "population_to_array",
+    "array_to_mappings",
 ]

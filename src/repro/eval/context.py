@@ -63,10 +63,13 @@ from typing import (
     List,
     NamedTuple,
     Optional,
+    Sequence,
     Tuple,
     TYPE_CHECKING,
     Union,
 )
+
+import numpy as np
 
 from repro.core.cdcm import CdcmEvaluator, CdcmReport
 from repro.core.mapping import Mapping
@@ -82,6 +85,7 @@ from repro.eval.route_table import (
     get_route_table,
     is_shared_route_table,
 )
+from repro.eval.vector import DEFAULT_VECTORIZE, VectorizedCwmKernel
 from repro.graphs.cdcg import CDCG
 from repro.graphs.cwg import CWG
 from repro.noc.platform import Platform
@@ -135,6 +139,13 @@ class EvaluationContext(ABC):
     #: Whether :meth:`metric_delta` returns exact per-component deltas
     #: (the capability scalarisation views need to re-weight swap pricing).
     supports_metric_delta: bool = False
+
+    #: Whether inline (backend-free) batches should be deduplicated and
+    #: priced through :meth:`_compute_metrics_chunk` instead of per-candidate
+    #: :meth:`metrics` calls.  Contexts with an array pricing path (see
+    #: :mod:`repro.eval.vector`) set this when their ``vectorize`` gate is
+    #: on; the base default keeps the legacy per-candidate inline path.
+    _chunked_inline: bool = False
 
     #: Names of the components :meth:`metrics` produces, in scalarisation
     #: accumulation order.  Set by concrete subclasses.
@@ -262,8 +273,10 @@ class EvaluationContext(ABC):
         """Component vectors of several candidates in one call (shares the memo).
 
         Candidates already in the memo are answered from it; the misses are
-        deduplicated and handed to the backend as one batch, then written
-        back to the memo.  Vectors are bit-identical to per-candidate
+        deduplicated and priced as one chunk — by the backend when one is
+        active, else inline through :meth:`_compute_metrics_chunk` (which the
+        vectorised CWM context turns into a single array-kernel call) — then
+        written back to the memo.  Vectors are bit-identical to per-candidate
         :meth:`metrics` calls regardless of the backend — only *where* the
         arithmetic runs changes.
 
@@ -282,7 +295,7 @@ class EvaluationContext(ABC):
             One component vector per candidate, in input order.
         """
         active = backend if backend is not None else self._backend
-        if active is None:
+        if active is None and not self._chunked_inline:
             return [self.metrics(mapping) for mapping in mappings]
 
         items = list(mappings)
@@ -312,7 +325,11 @@ class EvaluationContext(ABC):
             unique.append(mapping)
             targets.append([index])
         if unique:
-            computed = active.evaluate_metrics(self, unique)
+            computed = (
+                self._compute_metrics_chunk(unique)
+                if active is None
+                else active.evaluate_metrics(self, unique)
+            )
             for mapping, vector, indices in zip(unique, computed, targets):
                 self._misses += 1
                 for index in indices:
@@ -368,6 +385,23 @@ class EvaluationContext(ABC):
     ) -> MetricVector:
         """Uncached component vector of *mapping*."""
 
+    def _compute_metrics_chunk(
+        self, mappings: Sequence[Union[Mapping, Dict[str, int]]]
+    ) -> List[MetricVector]:
+        """Uncached vectors of a chunk of candidates, in order.
+
+        The unit of work of batch pricing: backends
+        (:class:`~repro.eval.parallel.SerialBackend` inline, each
+        :class:`~repro.eval.parallel.ProcessPoolBackend` worker per task) and
+        the inline dedup path all price misses through this method.  The base
+        implementation loops per candidate; contexts with an array pricing
+        path (:class:`CwmEvaluationContext` when ``vectorize`` is on)
+        override it to price the whole chunk with one kernel call —
+        bit-identical by construction, so *where* a chunk is priced never
+        changes a value.
+        """
+        return [self._compute_metrics(mapping) for mapping in mappings]
+
     # ------------------------------------------------------------------
     # Memo bookkeeping
     # ------------------------------------------------------------------
@@ -404,6 +438,16 @@ class CwmEvaluationContext(EvaluationContext):
     backend:
         Default :class:`~repro.eval.parallel.BatchBackend` for
         :meth:`EvaluationContext.evaluate_batch`; ``None`` prices inline.
+    vectorize:
+        Whether batch misses are priced by the NumPy array kernel
+        (:class:`~repro.eval.vector.VectorizedCwmKernel`) instead of the
+        per-candidate scalar loop.  ``None`` (the default) follows
+        :data:`~repro.eval.vector.DEFAULT_VECTORIZE` — on, the right choice
+        for search, since the kernel is bit-identical to the scalar path by
+        construction.  :class:`~repro.analysis.comparison.ComparisonConfig`
+        pins it off for the paper-reproduction rows, mirroring the
+        ``use_delta`` convention.  Per-candidate pricing (:meth:`cost`,
+        :meth:`metrics`, :meth:`delta`) always stays scalar.
 
     Notes
     -----
@@ -428,6 +472,7 @@ class CwmEvaluationContext(EvaluationContext):
         route_table: Optional[RouteTable] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         backend: Optional["BatchBackend"] = None,
+        vectorize: Optional[bool] = None,
     ) -> None:
         super().__init__(cache_size, backend)
         self.cwg = cwg
@@ -440,6 +485,13 @@ class CwmEvaluationContext(EvaluationContext):
         )
         self.name = f"cwm({cwg.name})"
         self.weights = {"dynamic_energy": 1.0}
+        self.vectorize = (
+            DEFAULT_VECTORIZE if vectorize is None else bool(vectorize)
+        )
+        self._chunked_inline = self.vectorize
+        # The kernel binds lazily on the first chunk: building it densifies
+        # lazy route tables, which sparse per-candidate use should not pay.
+        self._kernel: Optional[VectorizedCwmKernel] = None
         # Flat edge arrays: iterating tuples beats re-walking the CWG object
         # graph on every evaluation, and edge indices give delta() a compact
         # per-core incidence list.
@@ -469,6 +521,7 @@ class CwmEvaluationContext(EvaluationContext):
             "include_local": self.include_local,
             "cache_size": self._cache_size,
             "route_table": None if shared else self.route_table,
+            "vectorize": self.vectorize,
         }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -478,6 +531,7 @@ class CwmEvaluationContext(EvaluationContext):
             include_local=state["include_local"],
             route_table=state.get("route_table"),
             cache_size=state["cache_size"],
+            vectorize=state.get("vectorize"),
         )
 
     # ------------------------------------------------------------------
@@ -525,6 +579,66 @@ class CwmEvaluationContext(EvaluationContext):
                 f"{self.cwg.name!r}"
             ) from exc
         return MetricVector(CWM_METRIC_NAMES, (total,))
+
+    def vector_kernel(self) -> VectorizedCwmKernel:
+        """The context's array pricing kernel (built on first use).
+
+        Bound to the same edge snapshot, route table and accumulation order
+        as :meth:`_compute_metrics`, so kernel prices are bit-identical to
+        scalar prices.  Building the kernel densifies a lazy route table
+        (:meth:`~repro.eval.route_table.RouteTable.warm_dense`), which is why
+        it is deferred to the first batch rather than paid at construction.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            kernel = VectorizedCwmKernel.from_edges(
+                self._edges,
+                self.route_table,
+                sorted(self.cwg.cores),
+                name=f"cwm-kernel({self.cwg.name})",
+            )
+            self._kernel = kernel
+        return kernel
+
+    def _compute_metrics_chunk(
+        self, mappings: Sequence[Union[Mapping, Dict[str, int]]]
+    ) -> List[MetricVector]:
+        """Chunk pricing: one kernel gather per chunk when vectorised.
+
+        Candidates are validated exactly like the scalar path (same
+        :class:`~repro.utils.errors.MappingError` conditions), stacked into a
+        ``(pop, cores)`` array and priced by :meth:`vector_kernel` in one
+        call.  With ``vectorize`` off, falls back to the base per-candidate
+        loop.
+        """
+        items = list(mappings)
+        if not self.vectorize or not items:
+            return [self._compute_metrics(mapping) for mapping in items]
+        kernel = self.vector_kernel()
+        order = kernel.core_order
+        required = kernel.required_cores
+        rows = np.zeros((len(items), len(order)), dtype=np.int64)
+        for row, mapping in enumerate(items):
+            tiles = self._tile_assignments(mapping)
+            try:
+                rows[row] = [tiles[core] for core in order]
+            except KeyError:
+                # Isolated cores (no incident edges) may be unplaced — the
+                # scalar accumulator never reads them, so neither do we.
+                for column, core in enumerate(order):
+                    tile = tiles.get(core)
+                    if tile is None:
+                        if core in required:
+                            raise MappingError(
+                                f"mapping does not place core {core!r} of "
+                                f"application {self.cwg.name!r}"
+                            )
+                        continue
+                    rows[row, column] = tile
+        return [
+            MetricVector(CWM_METRIC_NAMES, (total,))
+            for total in kernel.price(rows)
+        ]
 
     def delta(self, mapping: Mapping, tile_a: int, tile_b: int) -> float:
         """Exact CWM cost change of swapping the contents of two tiles.

@@ -98,9 +98,13 @@ def _price_chunk(
 def _price_metrics_chunk(
     token: int, payload: bytes, mappings: Sequence[Any]
 ) -> List[Any]:
-    """Worker task: metric vectors of one chunk (the vector-objective twin)."""
+    """Worker task: metric vectors of one chunk (the vector-objective twin).
+
+    Prices through ``_compute_metrics_chunk`` so a vectorised context uses
+    its array kernel per worker chunk instead of per-candidate loops.
+    """
     context = _worker_context(token, payload)
-    return [context._compute_metrics(mapping) for mapping in mappings]
+    return list(context._compute_metrics_chunk(mappings))
 
 
 def _call(task: Tuple[Callable[..., Any], Tuple[Any, ...]]) -> Any:
@@ -266,8 +270,13 @@ class SerialBackend(BatchBackend):
     def evaluate_metrics(
         self, context: "EvaluationContext", mappings: Sequence[Any]
     ) -> List[Any]:
-        """Metric vectors by direct ``_compute_metrics`` calls, in order."""
-        return [context._compute_metrics(mapping) for mapping in mappings]
+        """Metric vectors via ``_compute_metrics_chunk``, in order.
+
+        The chunk call keeps serial pricing bit-identical to pooled pricing
+        *and* lets a vectorised context price the whole batch with one array
+        gather instead of a per-candidate loop.
+        """
+        return list(context._compute_metrics_chunk(mappings))
 
 
 class ProcessPoolBackend(BatchBackend):
@@ -364,7 +373,12 @@ class ProcessPoolBackend(BatchBackend):
         Batches below ``min_batch_size`` are priced inline (identical
         arithmetic, no IPC).
         """
-        return self._fan_out(context, mappings, _price_chunk, "_compute_cost")
+        return self._fan_out(
+            context,
+            mappings,
+            _price_chunk,
+            lambda items: [context._compute_cost(mapping) for mapping in items],
+        )
 
     def evaluate_metrics(
         self, context: "EvaluationContext", mappings: Sequence[Any]
@@ -375,7 +389,10 @@ class ProcessPoolBackend(BatchBackend):
         arithmetic, no IPC).
         """
         return self._fan_out(
-            context, mappings, _price_metrics_chunk, "_compute_metrics"
+            context,
+            mappings,
+            _price_metrics_chunk,
+            lambda items: list(context._compute_metrics_chunk(items)),
         )
 
     def _fan_out(
@@ -383,12 +400,11 @@ class ProcessPoolBackend(BatchBackend):
         context: "EvaluationContext",
         mappings: Sequence[Any],
         chunk_task,
-        inline_method: str,
+        inline_price,
     ) -> List[Any]:
         items = list(mappings)
         if len(items) < self.min_batch_size:
-            price = getattr(context, inline_method)
-            return [price(mapping) for mapping in items]
+            return inline_price(items)
         token, payload = self._context_payload(context)
         chunk = self.chunk_size or math.ceil(len(items) / self.n_workers)
         pool = self._ensure_pool()

@@ -23,11 +23,21 @@ tables.
 For very large NoCs (more than ``_EAGER_PAIR_LIMIT`` pairs) the table turns
 into a lazy per-pair memo instead of an eager precomputation, so sweeps over
 huge meshes never pay an O(n**2) warm-up for pairs they might not touch.
+
+The numeric halves of an eager table (``hops`` and ``energy``) are stored as
+dense NumPy arrays rather than Python lists: scalar lookups index the same
+allocation the vectorised pricing kernel (:mod:`repro.eval.vector`) gathers
+from, exposed as ``(n, n)`` matrices through :meth:`RouteTable.as_arrays`.
+Lazy tables can densify those two halves on demand with
+:meth:`RouteTable.warm_dense`, which reuses — not re-derives — every pair
+already in the per-pair memo.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.energy.bit_energy import bit_energy_route
 from repro.noc.topology import topology_cache_token
@@ -41,6 +51,12 @@ if TYPE_CHECKING:  # pragma: no cover - imports only used by type checkers
 
 #: Above this many (source, target) pairs the table fills lazily on demand.
 _EAGER_PAIR_LIMIT = 1 << 16
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Mark *array* read-only (dense halves are shared across evaluators)."""
+    array.setflags(write=False)
+    return array
 
 
 class RouteTable:
@@ -76,6 +92,8 @@ class RouteTable:
         "_links",
         "_hops",
         "_energy",
+        "_dense_hops",
+        "_dense_energy",
     )
 
     def __init__(
@@ -93,6 +111,8 @@ class RouteTable:
         self.num_tiles = mesh.num_tiles
         pairs = self.num_tiles * self.num_tiles
         self._eager = pairs <= _EAGER_PAIR_LIMIT if precompute is None else precompute
+        self._dense_hops: Optional[np.ndarray] = None
+        self._dense_energy: Optional[np.ndarray] = None
         if self._eager:
             paths: List[Tuple[int, ...]] = []
             links: List[Tuple[Tuple[int, int], ...]] = []
@@ -109,8 +129,10 @@ class RouteTable:
                     )
             self._paths = paths
             self._links = links
-            self._hops = hops
-            self._energy = energy
+            # Eager numeric halves live in one dense allocation shared by
+            # scalar lookups and the vectorised kernel (see as_arrays()).
+            self._hops = _freeze(np.array(hops, dtype=np.int64))
+            self._energy = _freeze(np.array(energy, dtype=np.float64))
         else:
             self._paths: Dict[int, Tuple[int, ...]] = {}
             self._links: Dict[int, Tuple[Tuple[int, int], ...]] = {}
@@ -192,8 +214,10 @@ class RouteTable:
         instance._eager = True
         instance._paths = list(paths)
         instance._links = list(links)
-        instance._hops = list(hops)
-        instance._energy = list(energy)
+        instance._hops = _freeze(np.array(hops, dtype=np.int64))
+        instance._energy = _freeze(np.array(energy, dtype=np.float64))
+        instance._dense_hops = None
+        instance._dense_energy = None
         return instance
 
     @property
@@ -243,24 +267,109 @@ class RouteTable:
     def hop_count(self, source: int, target: int) -> int:
         """``K`` — number of routers traversed."""
         index = self._index(source, target)
-        if not self._eager and index not in self._hops:
+        if self._eager:
+            return int(self._hops[index])
+        if self._dense_hops is not None:
+            return int(self._dense_hops[index])
+        if index not in self._hops:
             self._materialise(index, source, target)
         return self._hops[index]
 
     def bit_energy(self, source: int, target: int) -> float:
         """``EBit_ij`` of equation (2) for this pair, in pJ per bit."""
         index = self._index(source, target)
-        if not self._eager and index not in self._energy:
+        if self._eager:
+            return float(self._energy[index])
+        if self._dense_energy is not None:
+            return float(self._dense_energy[index])
+        if index not in self._energy:
             self._materialise(index, source, target)
         return self._energy[index]
 
-    def flat_bit_energy(self) -> Optional[List[float]]:
-        """Row-major ``EBit`` list (``source * num_tiles + target``).
+    def flat_bit_energy(self) -> Optional[np.ndarray]:
+        """Row-major ``EBit`` array (``source * num_tiles + target``).
 
-        Returns ``None`` for lazy tables; hot loops that get the list can
-        index it directly and skip per-call method dispatch.
+        Returns the dense per-pair energy vector — the same allocation
+        :meth:`as_arrays` reshapes — for eager tables and for lazy tables
+        that have been :meth:`warm_dense`-ed; ``None`` for cold lazy tables.
+        Hot loops that get the array can index it directly and skip per-call
+        method dispatch.
         """
-        return self._energy if self._eager else None
+        if self._eager:
+            return self._energy
+        return self._dense_energy
+
+    # ------------------------------------------------------------------
+    # Dense (vectorised) views
+    # ------------------------------------------------------------------
+    @property
+    def is_dense(self) -> bool:
+        """True when :meth:`as_arrays` can answer without densifying first."""
+        return self._eager or self._dense_energy is not None
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(n, n)`` matrices ``(energy, hops)`` of the whole table.
+
+        ``energy[i, j]`` is ``bit_energy(i, j)`` (float64) and ``hops[i, j]``
+        is ``hop_count(i, j)`` (int64).  The matrices are read-only reshape
+        views of the table's own row-major storage — computed once, never
+        copied — and are what :class:`repro.eval.vector.VectorizedCwmKernel`
+        gathers from.  A cold lazy table raises
+        :class:`~repro.utils.errors.ConfigurationError`; call
+        :meth:`warm_dense` (which returns the same views) to densify it.
+        """
+        if self._eager:
+            energy, hops = self._energy, self._hops
+        elif self._dense_energy is not None:
+            energy, hops = self._dense_energy, self._dense_hops
+        else:
+            raise ConfigurationError(
+                f"{self!r} is lazy and has no dense matrices yet; call "
+                f"warm_dense() to materialise them"
+            )
+        n = self.num_tiles
+        return energy.reshape(n, n), hops.reshape(n, n)
+
+    def warm_dense(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Densify the numeric halves of a lazy table in one pass.
+
+        Pairs already in the per-pair memo are *reused*, not re-routed; only
+        the missing pairs walk the routing algorithm.  Paths and links stay
+        lazy (densifying them would cost the O(n^2) tuple storage the lazy
+        mode exists to avoid) — after warming, ``hop_count``/``bit_energy``
+        answer from the dense matrices while ``path``/``links`` keep
+        memoising per pair.  Idempotent; eager tables are already dense.
+
+        Returns
+        -------
+        (energy, hops):
+            The same read-only ``(n, n)`` views :meth:`as_arrays` returns.
+        """
+        if not self._eager and self._dense_energy is None:
+            n = self.num_tiles
+            energy = np.empty(n * n, dtype=np.float64)
+            hops = np.empty(n * n, dtype=np.int64)
+            memo_energy = self._energy
+            memo_hops = self._hops
+            mesh, routing = self.mesh, self.routing
+            technology, include_local = self.technology, self.include_local
+            index = 0
+            for source in range(n):
+                for target in range(n):
+                    cached = memo_energy.get(index)
+                    if cached is not None:
+                        energy[index] = cached
+                        hops[index] = memo_hops[index]
+                    else:
+                        count = len(routing.route(mesh, source, target))
+                        hops[index] = count
+                        energy[index] = bit_energy_route(
+                            technology, count, include_local
+                        )
+                    index += 1
+            self._dense_energy = _freeze(energy)
+            self._dense_hops = _freeze(hops)
+        return self.as_arrays()
 
     def __repr__(self) -> str:
         mode = "precomputed" if self._eager else "lazy"

@@ -10,9 +10,12 @@ configurable bound instead of silently running for hours.
 Candidates are priced in enumeration-order chunks through the objective's
 :meth:`~repro.core.objective.CountingObjective.evaluate_batch` (when it has
 one), which is the seam a :class:`~repro.eval.parallel.BatchBackend` can
-parallelise; results — best mapping, cost, evaluation count and history —
-are bit-identical to the one-at-a-time path because chunking preserves the
-enumeration order exactly.
+parallelise — and the seam the CWM array kernel
+(:mod:`repro.eval.vector`) vectorises, pricing each enumeration chunk as one
+``(chunk, cores)`` NumPy gather; results — best mapping, cost, evaluation
+count and history — are bit-identical to the one-at-a-time path because
+chunking preserves the enumeration order exactly and the kernel reduces in
+the scalar accumulation order.
 """
 
 from __future__ import annotations

@@ -21,7 +21,10 @@ through ``evaluate_metrics_batch`` — the same seam every population engine
 uses — so the engine inherits the :class:`~repro.eval.parallel.BatchBackend`
 parallelism: set :attr:`Nsga2Parameters.n_workers` (or pass a backend) to fan
 pricing out over a process pool, with results bit-identical to serial runs
-under the same seed.
+under the same seed.  Under a CWM source the same seam vectorises too: the
+context converts each generation to a ``(pop, cores)`` tile array and prices
+it with the array kernel of :mod:`repro.eval.vector` — again bit-identical,
+so fronts do not depend on the gate.
 """
 
 from __future__ import annotations
