@@ -1,0 +1,169 @@
+"""CDCM annealing throughput — bounded repair vs full-replay pricing.
+
+The bounded-repair engine (:mod:`repro.eval.repair`) claims two things:
+
+* **identity at resync** — whenever the engine reports a resynced outcome
+  its tracked metrics are a full replay by construction, so the running
+  ``cost0 + sum(deltas)`` stream must match a fresh evaluation exactly.
+  This is asserted *always*, like the identity halves of the other benches;
+* **throughput** — pricing swap moves by bounded repair (seeds + windowed
+  occupants against a frozen background) is at least 5x the full-replay
+  evaluations/sec inside the same simulated-annealing loop.
+
+The operating point is a contention-heavy but repair-friendly workload: a
+16x16 mesh with 96 cores and 128 packets in 8 dependence levels, high
+``computation_scale`` so routes are long-lived but sparse in time, and a
+repair policy that trusts the drift contract between scheduled resyncs
+(``closure_depth=0`` replays seeds and windowed occupants only — measured
+fastest at equal search quality on this workload).
+
+The >= 5x bar follows the suite's perf-bar convention (cf. the >= 10x array
+bar in ``bench_vector.py``): rates are recorded first, then the bar can be
+waived on constrained or instrumented interpreters by setting
+``REPRO_BENCH_NO_PERF_BARS=1``.  The identity assertions always run.
+
+Set ``REPRO_BENCH_RECORD=1`` to append the measured rates to
+``BENCH_repair.json`` in the working directory — the file the CI
+benchmark-trajectory job uploads.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from conftest import BENCH_SEED, emit, record_sample
+from repro.core.cdcm import CdcmEvaluator
+from repro.core.mapping import Mapping
+from repro.core.objective import cdcm_objective
+from repro.eval.context import CdcmEvaluationContext
+from repro.eval.repair import CdcmRepairEngine, RepairPolicy
+from repro.noc.platform import Platform
+from repro.noc.topology import Mesh
+from repro.search.annealing import AnnealingSchedule, SimulatedAnnealing
+from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
+
+_SKIP_PERF_BARS = os.environ.get("REPRO_BENCH_NO_PERF_BARS", "0") not in (
+    "0",
+    "",
+    "false",
+)
+
+#: The repair policy under measurement: long scheduled-resync period, drift
+#: contract trusted in between, no frontier-extension rounds.
+_POLICY = RepairPolicy(closure_depth=0, max_drift=1.0, resync_every=128)
+
+
+def _workload():
+    spec = TgffSpec(
+        name="repair-16x16",
+        num_cores=96,
+        num_packets=128,
+        total_bits=128 * 4_096,
+        levels=8,
+        computation_scale=16.0,
+    )
+    cdcg = TgffLikeGenerator(BENCH_SEED).generate(spec)
+    return cdcg, Platform(mesh=Mesh(16, 16))
+
+
+def _initial_mapping(cdcg, platform):
+    cores = sorted(cdcg.cores())
+    return Mapping(
+        {core: tile for tile, core in enumerate(cores)}, platform.num_tiles
+    )
+
+
+def _annealing_rate(cdcg, platform, initial, *, repair):
+    context = CdcmEvaluationContext(
+        cdcg, platform, repair=repair, repair_policy=_POLICY
+    )
+    objective = cdcm_objective(cdcg, platform, context=context)
+    schedule = AnnealingSchedule(max_evaluations=1_000, moves_per_temperature=128)
+    searcher = SimulatedAnnealing(schedule, use_delta=True)
+    start = time.perf_counter()
+    result = searcher.search(objective, initial, rng=99)
+    elapsed = time.perf_counter() - start
+    return result, result.evaluations / elapsed
+
+
+def _assert_identity_at_resync(cdcg, platform, initial):
+    """Walk accepted swaps; at every resynced step the tracked cost is exact."""
+    engine = CdcmRepairEngine(
+        cdcg,
+        platform,
+        policy=RepairPolicy(closure_depth=0, max_drift=1.0, resync_every=8),
+    )
+    evaluator = CdcmEvaluator(platform)
+    rng = random.Random(BENCH_SEED)
+    mapping = initial
+    tracked = evaluator.metrics(cdcg, mapping)["energy"]
+    resyncs = 0
+    for _ in range(48):
+        a = rng.randrange(platform.num_tiles)
+        b = rng.randrange(platform.num_tiles)
+        tracked += engine.metric_delta(mapping, a, b)["energy"]
+        mapping = mapping.swap_tiles(a, b)
+        if engine.last_outcome.resynced:
+            resyncs += 1
+            truth = evaluator.metrics(cdcg, mapping)["energy"]
+            assert tracked == pytest.approx(truth, rel=1e-9), (
+                f"resync identity violated: tracked {tracked!r} vs full "
+                f"replay {truth!r}"
+            )
+    assert resyncs >= 2, "walk too short to exercise the resync guarantee"
+
+
+@pytest.mark.benchmark(group="repair-throughput")
+def test_cdcm_repair_annealing_throughput(benchmark):
+    cdcg, platform = _workload()
+    initial = _initial_mapping(cdcg, platform)
+
+    # The contract half: resynced steps are full replays, always asserted.
+    _assert_identity_at_resync(cdcg, platform, initial)
+
+    def run():
+        full_result, full_rate = _annealing_rate(
+            cdcg, platform, initial, repair=False
+        )
+        repair_result, repair_rate = _annealing_rate(
+            cdcg, platform, initial, repair=True
+        )
+        return full_result, full_rate, repair_result, repair_rate
+
+    full_result, full_rate, repair_result, repair_rate = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    emit(
+        "Bounded repair - CDCM annealing evaluations/sec, full replay vs "
+        "repair deltas (16x16 mesh, 96 cores, 128 packets)",
+        f"{'path':<12} {'evals/s':>10} {'best cost':>14}\n"
+        f"{'full':<12} {full_rate:>10,.0f} {full_result.best_cost:>14,.0f}\n"
+        f"{'repair':<12} {repair_rate:>10,.0f} "
+        f"{repair_result.best_cost:>14,.0f}\n"
+        f"speedup: {repair_rate / full_rate:.2f}x",
+    )
+    record_sample(
+        "BENCH_repair.json",
+        {
+            "bench": "bench_repair",
+            "full_evals_per_s": full_rate,
+            "repair_evals_per_s": repair_rate,
+            "speedup": repair_rate / full_rate,
+            "full_best_cost": full_result.best_cost,
+            "repair_best_cost": repair_result.best_cost,
+        },
+    )
+    # Both walks must land in the same cost neighbourhood — the repair path
+    # is a pricing optimisation, not a different search.
+    assert repair_result.best_cost <= full_result.best_cost * 1.1
+    if _SKIP_PERF_BARS:
+        pytest.skip(
+            ">= 5x bar waived via REPRO_BENCH_NO_PERF_BARS (identity checks "
+            "above already ran)"
+        )
+    # The acceptance bar: bounded repair prices annealing moves at >= 5x the
+    # full-replay evaluations/sec on this workload.
+    assert repair_rate >= 5.0 * full_rate

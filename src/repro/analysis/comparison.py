@@ -71,6 +71,16 @@ class ComparisonConfig:
         seed arithmetic path, so the comparison keeps the scalar accumulator
         unless explicitly asked otherwise.  Everywhere else the gate
         defaults on.
+    repair:
+        Let CDCM swap deltas be priced by the bounded-repair engine
+        (:mod:`repro.eval.repair`).  Defaults to False here — and only here —
+        for a *stronger* version of the ``use_delta`` rationale: bounded
+        repair is exact only at resync points and drift-bounded in between,
+        so it could steer a borderline annealing accept differently from the
+        published full-replay walk.  The reproduced Table 1/2 rows therefore
+        always price by complete replays; set True for production-scale
+        sweeps where raw CDCM throughput matters more than bit-stable
+        tables.
     """
 
     method: str = "annealing"
@@ -79,6 +89,7 @@ class ComparisonConfig:
     restarts: int = 1
     use_delta: bool = False
     vectorize: bool = False
+    repair: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in ("annealing", "sa", "exhaustive", "es"):
@@ -185,7 +196,9 @@ def compare_models(
     point.
     """
     config = config or ComparisonConfig()
-    framework = FRWFramework(cdcg, platform, vectorize=config.vectorize)
+    framework = FRWFramework(
+        cdcg, platform, vectorize=config.vectorize, repair=config.repair
+    )
     base_rng = ensure_rng(seed)
 
     cwm_best: Optional[MappingOutcome] = None

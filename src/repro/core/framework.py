@@ -34,6 +34,7 @@ from repro.core.objective import (
 )
 from repro.energy.technology import Technology
 from repro.eval.context import CdcmEvaluationContext, CwmEvaluationContext
+from repro.eval.repair import RepairPolicy
 from repro.eval.route_table import get_route_table
 from repro.graphs.cdcg import CDCG
 from repro.graphs.convert import cdcg_to_cwg
@@ -106,6 +107,15 @@ class FRWFramework:
         context's default — on; the comparison driver pins it off for the
         reproduced paper rows (see
         :class:`~repro.analysis.comparison.ComparisonConfig`).
+    repair:
+        Forwarded to every :class:`CdcmEvaluationContext` the framework
+        builds: whether CDCM swap deltas are priced by the bounded-repair
+        engine of :mod:`repro.eval.repair`.  ``None`` (default) follows the
+        context's default — on; the comparison driver pins it off for the
+        reproduced paper rows.
+    repair_policy:
+        Optional :class:`~repro.eval.repair.RepairPolicy` forwarded with
+        the ``repair`` gate (resync period, drift bound, closure depth).
     """
 
     def __init__(
@@ -114,6 +124,8 @@ class FRWFramework:
         platform: Platform,
         cwg: Optional[CWG] = None,
         vectorize: Optional[bool] = None,
+        repair: Optional[bool] = None,
+        repair_policy: Optional[RepairPolicy] = None,
     ) -> None:
         cdcg.validate()
         if cdcg.num_cores > platform.num_tiles:
@@ -129,11 +141,17 @@ class FRWFramework:
         # prices mappings against the same precomputed tables and memo.
         self.route_table = get_route_table(platform)
         self._vectorize = vectorize
+        self._repair = repair
+        self._repair_policy = repair_policy
         self._cwm_context = CwmEvaluationContext(
             self.cwg, platform, route_table=self.route_table, vectorize=vectorize
         )
         self._cdcm_context = CdcmEvaluationContext(
-            self.cdcg, platform, route_table=self.route_table
+            self.cdcg,
+            platform,
+            route_table=self.route_table,
+            repair=repair,
+            repair_policy=repair_policy,
         )
         self._cdcm_evaluator = self._cdcm_context.evaluator
         self._cwm_evaluator = CwmEvaluator(platform, route_table=self.route_table)
@@ -185,7 +203,11 @@ class FRWFramework:
             return cwm_objective(self.cwg, self.platform, context=context)
         if model == "cdcm":
             context = CdcmEvaluationContext(
-                self.cdcg, self.platform, route_table=self.route_table
+                self.cdcg,
+                self.platform,
+                route_table=self.route_table,
+                repair=self._repair,
+                repair_policy=self._repair_policy,
             )
             if weights is not None:
                 return ScalarisedObjective(context, weights)

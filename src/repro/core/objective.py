@@ -537,6 +537,8 @@ def cdcm_objective(
     include_local: bool = True,
     cache_size: int = DEFAULT_CACHE_SIZE,
     context: Optional[CdcmEvaluationContext] = None,
+    repair: Optional[bool] = None,
+    repair_policy=None,
 ) -> CountingObjective:
     """Objective minimising CDCM total energy (equation 10) or execution time.
 
@@ -565,13 +567,22 @@ def cdcm_objective(
         Size of the context's metric-vector memo (0 disables it).
     context:
         Optional pre-built context to share across objectives.
+    repair:
+        Whether swap deltas are priced by the bounded-repair engine of
+        :mod:`repro.eval.repair` (``None`` follows the context default —
+        on).  Ignored when *context* is supplied.
+    repair_policy:
+        Optional :class:`~repro.eval.repair.RepairPolicy` overriding the
+        resync/drift contract.  Ignored when *context* is supplied.
 
     Returns
     -------
     CountingObjective
-        Supports bulk pricing (``supports_batch``) but not incremental deltas
-        — contention makes CDCM cost global, so ``supports_delta`` is False
-        and swap-based engines re-evaluate in full.
+        Supports bulk pricing (``supports_batch``) and — behind the
+        ``repair`` gate — incremental swap deltas (``supports_delta``):
+        contention makes exact CDCM deltas global, so moves are priced by
+        the bounded-repair engine, exact at every resync point and
+        drift-bounded in between (see :mod:`repro.eval.repair`).
     """
     if context is None:
         context = CdcmEvaluationContext(
@@ -582,6 +593,8 @@ def cdcm_objective(
             time_weight=time_weight,
             include_local=include_local,
             cache_size=cache_size,
+            repair=repair,
+            repair_policy=repair_policy,
         )
     return _bind_context(context)
 

@@ -22,13 +22,29 @@ The result (:class:`ScheduleResult`) carries:
 The timing model is validated against the paper's worked example: it
 reproduces every interval of Figure 3 and the execution times of 100 ns /
 90 ns for the two mappings of Figure 1(c, d).
+
+Besides the full replay, the scheduler exposes the machinery of the
+*bounded-repair* delta path (:mod:`repro.eval.repair`):
+
+* :func:`contention_resource` / :func:`contention_index` — which resources
+  arbitrate (inter-router links always, local core-router links only under
+  ``serialize_local_links``) and the per-resource sorted occupation lists a
+  repair engine keeps incrementally updated;
+* :class:`FrozenOccupations` — a read-only background of occupations the
+  partial replay treats as immovable;
+* :meth:`CdcmScheduler.schedule_subset` — replays only a subset of packets
+  against such a frozen background.  With the subset covering every packet
+  and no background, the partial replay is bit-identical to
+  :meth:`CdcmScheduler.schedule` by construction (pinned in
+  ``tests/test_repair.py``).
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping as TypingMapping, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, List, Mapping as TypingMapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.graphs.cdcg import CDCG, Packet
 from repro.noc.platform import Platform
@@ -184,6 +200,121 @@ class ScheduleResult:
         )
 
 
+def contention_resource(resource: Resource, serialize_local: bool) -> bool:
+    """Whether *resource* arbitrates between packets (can delay a grant).
+
+    Inter-router links always serialise competing packets; local core-router
+    links only do under ``serialize_local_links``; routers never block in
+    this model (they are cost-variable records only).
+    """
+    if isinstance(resource, LinkResource):
+        return True
+    if isinstance(resource, LocalLinkResource):
+        return serialize_local
+    return False
+
+
+def contention_index(
+    result: ScheduleResult, serialize_local: bool
+) -> Dict[Resource, List[Occupation]]:
+    """Per-resource occupation lists of the *contention* resources of a schedule.
+
+    The lists are sorted by start time, which for one arbitrating resource is
+    also grant order (each new grant starts at or after the previous grant's
+    end), and non-overlapping — the two invariants the bounded-repair path
+    (:mod:`repro.eval.repair`) relies on to keep them incrementally updated
+    and to query them through :class:`FrozenOccupations`.
+    """
+    index: Dict[Resource, List[Occupation]] = {}
+    for resource, occupations in result.occupations.items():
+        if contention_resource(resource, serialize_local):
+            index[resource] = sorted(occupations, key=lambda o: o.start)
+    return index
+
+
+class FrozenOccupations:
+    """A read-only background of occupations a partial replay cannot move.
+
+    Built from per-resource lists that are sorted by start time and
+    non-overlapping (the invariant :func:`contention_index` produces — ends
+    are then increasing too, so the latest occupation starting before an
+    instant is also the one blocking longest).
+    :meth:`CdcmScheduler.schedule_subset` consults it when granting an
+    output: a background occupation behaves exactly like an already-granted
+    foreground one.
+    """
+
+    __slots__ = ("_starts", "_occupations")
+
+    def __init__(self, occupations: TypingMapping[Resource, Sequence[Occupation]]) -> None:
+        self._occupations: Dict[Resource, Sequence[Occupation]] = dict(occupations)
+        # Start arrays are materialised lazily, per resource, on first
+        # lookup — a repair candidate consults only the resources its
+        # replayed routes actually cross.
+        self._starts: Dict[Resource, List[float]] = {}
+
+    def _starts_of(self, resource: Resource) -> Optional[List[float]]:
+        """The (cached) sorted start array of *resource*, or ``None`` if empty."""
+        starts = self._starts.get(resource)
+        if starts is None:
+            occupations = self._occupations.get(resource)
+            if not occupations:
+                return None
+            starts = [o.start for o in occupations]
+            self._starts[resource] = starts
+        return starts
+
+    def blocking_end(self, resource: Resource, before: float) -> float:
+        """End of the latest background occupation of *resource* starting before *before*.
+
+        Returns 0.0 when no background occupation starts earlier — the same
+        "free since forever" default the full replay uses for an untouched
+        ``free_at`` entry.
+        """
+        starts = self._starts_of(resource)
+        if starts is None:
+            return 0.0
+        index = bisect_left(starts, before) - 1
+        if index < 0:
+            return 0.0
+        return self._occupations[resource][index].end
+
+    def starting_at_or_after(
+        self, resource: Resource, start: float
+    ) -> Sequence[Occupation]:
+        """Background occupations of *resource* starting at or after *start*.
+
+        These are the grants the full replay would have (re-)arbitrated
+        *after* a change at *start* — the repair engine's frontier: if any
+        exist on a touched resource, the bounded step is only approximate.
+        """
+        starts = self._starts_of(resource)
+        if starts is None:
+            return ()
+        index = bisect_left(starts, start)
+        occupations = self._occupations[resource]
+        return occupations[index:] if index < len(starts) else ()
+
+
+@dataclass
+class SubsetSchedule:
+    """Outcome of a bounded partial replay (:meth:`CdcmScheduler.schedule_subset`).
+
+    Attributes
+    ----------
+    schedules:
+        One :class:`PacketSchedule` per replayed packet.
+    footprints:
+        Per replayed packet, the *contention-resource* occupations it
+        reserved, as ``(resource, occupation)`` pairs in route order — what
+        the repair engine splices into its incrementally maintained
+        :func:`contention_index`.
+    """
+
+    schedules: Dict[str, PacketSchedule]
+    footprints: Dict[str, List[Tuple[Resource, Occupation]]]
+
+
 class CdcmScheduler:
     """Replays a CDCG over a mapped platform, producing a :class:`ScheduleResult`.
 
@@ -207,6 +338,19 @@ class CdcmScheduler:
 
             route_table = get_route_table(platform)
         self._route_table = route_table
+        # Heap tie-break order of the most recent CDCG, cached because
+        # schedule_subset is called per repair delta (hot path) and the
+        # packet list of a CDCG instance never changes.
+        self._order_cache: Optional[Tuple[CDCG, Dict[str, int]]] = None
+
+    def _order_index(self, cdcg: CDCG) -> Dict[str, int]:
+        """Deterministic heap tie-break ranks (CDCG declaration order)."""
+        cached = self._order_cache
+        if cached is not None and cached[0] is cdcg:
+            return cached[1]
+        order_index = {p.name: i for i, p in enumerate(cdcg.packets)}
+        self._order_cache = (cdcg, order_index)
+        return order_index
 
     @property
     def route_table(self):
@@ -305,6 +449,125 @@ class CdcmScheduler:
             packet_schedules=schedules,
             occupations=occupations,
         )
+
+    def schedule_subset(
+        self,
+        cdcg: CDCG,
+        tile_of: TypingMapping[str, int],
+        subset: Iterable[str],
+        ready_floor: Optional[TypingMapping[str, float]] = None,
+        background: Optional[FrozenOccupations] = None,
+    ) -> SubsetSchedule:
+        """Replay only *subset* of the CDCG against a frozen background.
+
+        The bounded-repair primitive: packets in *subset* are rescheduled
+        with the exact full-replay timing rules, competing against each
+        other **and** against *background* occupations (which never move).
+        Dependences on packets outside the subset enter through
+        *ready_floor* — the caller supplies each subset packet's ready time
+        as seen from the frozen world (typically the maximum old delivery
+        time of its out-of-subset predecessors).
+
+        With *subset* covering every packet, an empty floor and no
+        background, this is bit-identical to :meth:`schedule` (same heap
+        order, same arithmetic); with a partial subset the result is exact
+        whenever no background grant would have been re-arbitrated after the
+        replayed changes — the condition the repair engine checks through
+        :meth:`FrozenOccupations.starting_at_or_after`.
+
+        Parameters
+        ----------
+        cdcg:
+            The application graph (supplies packets and dependences).
+        tile_of:
+            Core-to-tile placement of the *candidate* mapping, covering at
+            least every core a subset packet touches.  Not re-validated —
+            callers hold an already-validated mapping.
+        subset:
+            Names of the packets to replay.
+        ready_floor:
+            Per-packet lower bound on the ready time (absolute ns)
+            contributed by out-of-subset predecessors; missing entries mean
+            0.0.
+        background:
+            Frozen occupations of the packets *not* being replayed; ``None``
+            means an empty network.
+
+        Raises
+        ------
+        SchedulingError
+            If the dependences among the subset packets contain a cycle.
+        """
+        params = self.platform.parameters
+        tr = params.routing_time
+        tl = params.link_time
+        serialize_local = params.serialize_local_links
+        names = set(subset)
+        floors = ready_floor or {}
+
+        order_index = self._order_index(cdcg)
+        remaining_preds = {
+            name: sum(1 for p in cdcg.predecessors(name) if p in names)
+            for name in names
+        }
+        ready_time: Dict[str, float] = {}
+        heap: List[Tuple[float, int, str]] = []
+        for name in names:
+            if remaining_preds[name] == 0:
+                ready = floors.get(name, 0.0)
+                ready_time[name] = ready
+                packet = cdcg.packet(name)
+                heapq.heappush(
+                    heap, (ready + packet.computation_time, order_index[name], name)
+                )
+
+        free_at: Dict[Resource, float] = {}
+        schedules: Dict[str, PacketSchedule] = {}
+        footprints: Dict[str, List[Tuple[Resource, Occupation]]] = {
+            name: [] for name in names
+        }
+        while heap:
+            _, _, name = heapq.heappop(heap)
+            packet = cdcg.packet(name)
+            schedule = self._schedule_packet_bounded(
+                packet,
+                ready_time[name],
+                tile_of[packet.source],
+                tile_of[packet.target],
+                tr,
+                tl,
+                params.flits(packet.bits),
+                serialize_local,
+                free_at,
+                footprints[name],
+                background,
+            )
+            schedules[name] = schedule
+
+            for successor in cdcg.successors(name):
+                if successor not in names:
+                    continue
+                remaining_preds[successor] -= 1
+                current = ready_time.get(successor, floors.get(successor, 0.0))
+                ready_time[successor] = max(current, schedule.delivery_time)
+                if remaining_preds[successor] == 0:
+                    succ_packet = cdcg.packet(successor)
+                    heapq.heappush(
+                        heap,
+                        (
+                            ready_time[successor] + succ_packet.computation_time,
+                            order_index[successor],
+                            successor,
+                        ),
+                    )
+
+        if len(schedules) != len(names):
+            raise SchedulingError(
+                f"only {len(schedules)} of {len(names)} subset packets could "
+                f"be scheduled; the CDCG of {cdcg.name!r} has a dependence "
+                f"cycle"
+            )
+        return SubsetSchedule(schedules=schedules, footprints=footprints)
 
     # ------------------------------------------------------------------
     # Internals
@@ -414,6 +677,125 @@ class CdcmScheduler:
             num_flits=num_flits,
         )
 
+    def _schedule_packet_bounded(
+        self,
+        packet: Packet,
+        ready: float,
+        source_tile: int,
+        target_tile: int,
+        tr: float,
+        tl: float,
+        num_flits: int,
+        serialize_local: bool,
+        free_at: Dict[Resource, float],
+        footprint: List[Tuple[Resource, Occupation]],
+        background: Optional[FrozenOccupations],
+    ) -> PacketSchedule:
+        """Timing twin of :meth:`_schedule_packet` against a frozen background.
+
+        Identical grant arithmetic, with two differences: (1) besides the
+        replayed packets' ``free_at``, a grant also yields to *background*
+        occupations — resolved by a small fixpoint, since pushing the start
+        later can expose yet-later background grants; (2) only
+        contention-resource occupations are recorded (into *footprint*) —
+        router records never influence timing and the repair engine prices
+        dynamic energy from hop counts, not occupation lists.
+        """
+        path = self._route_table.path(source_tile, target_tile)
+        injection = ready + packet.computation_time
+        stream_time = num_flits * tl
+        contention = 0.0
+
+        source_local = LocalLinkResource(source_tile)
+        source_start = injection
+        if serialize_local:
+            available = free_at.get(source_local, 0.0)
+            if available > injection:
+                source_start = available
+            if background is not None:
+                while True:
+                    blocked = background.blocking_end(source_local, source_start)
+                    if blocked > source_start:
+                        source_start = blocked
+                    else:
+                        break
+            if source_start > injection:
+                contention += source_start - injection
+            free_at[source_local] = source_start + stream_time
+            footprint.append(
+                (
+                    source_local,
+                    Occupation(
+                        packet.name,
+                        packet.bits,
+                        source_start,
+                        source_start + stream_time,
+                        contended=source_start > injection,
+                    ),
+                )
+            )
+
+        head_arrival = source_start + tl
+        link_start = head_arrival  # placeholder, overwritten in the loop
+        for position, router_tile in enumerate(path):
+            is_last = position == len(path) - 1
+            if is_last:
+                output: Resource = LocalLinkResource(target_tile)
+                output_contends = serialize_local
+            else:
+                output = LinkResource(router_tile, path[position + 1])
+                output_contends = True
+
+            earliest = head_arrival + tr
+            link_start = earliest
+            contended_here = False
+            if output_contends:
+                available = free_at.get(output, 0.0)
+                if available > head_arrival:
+                    link_start = max(link_start, available + tr)
+                if background is not None:
+                    # Fixpoint: a later start can fall behind further frozen
+                    # grants; each push is strictly later and bounded by the
+                    # last background end + tr, so the loop terminates.
+                    while True:
+                        blocked = background.blocking_end(output, link_start)
+                        if blocked > head_arrival:
+                            moved = max(link_start, blocked + tr)
+                            if moved > link_start:
+                                link_start = moved
+                                continue
+                        break
+                if link_start > earliest:
+                    contended_here = True
+                    contention += link_start - earliest
+                free_at[output] = link_start + stream_time
+                footprint.append(
+                    (
+                        output,
+                        Occupation(
+                            packet.name,
+                            packet.bits,
+                            link_start,
+                            link_start + stream_time,
+                            contended=contended_here,
+                        ),
+                    )
+                )
+            head_arrival = link_start + tl
+
+        delivery = link_start + stream_time
+        return PacketSchedule(
+            packet=packet,
+            source_tile=source_tile,
+            target_tile=target_tile,
+            path=tuple(path),
+            ready_time=ready,
+            injection_time=injection,
+            delivery_time=delivery,
+            contention_delay=contention,
+            num_flits=num_flits,
+        )
+
 
 def _record(
     occupations: Dict[Resource, List[Occupation]],
@@ -455,4 +837,12 @@ def _tile_lookup(
     return {core: assignments[core] for core in cores}
 
 
-__all__ = ["CdcmScheduler", "ScheduleResult", "PacketSchedule"]
+__all__ = [
+    "CdcmScheduler",
+    "ScheduleResult",
+    "PacketSchedule",
+    "SubsetSchedule",
+    "FrozenOccupations",
+    "contention_resource",
+    "contention_index",
+]

@@ -190,6 +190,33 @@ class TestCwmDelta:
             )
             mapping, cost = swapped, cost + delta
 
+    @pytest.mark.parametrize(
+        "topology", [Mesh(3, 3), Torus(3, 3)], ids=["mesh", "torus"]
+    )
+    def test_delta_conformance_harness(self, topology):
+        # Re-pin the CWM delta through the shared conformance harness (the
+        # same one that bounds CDCM bounded repair in test_repair.py): the
+        # CWM delta claims exactness on every step, so no outcome stream
+        # and no drift bound.
+        import random
+
+        from delta_harness import check_delta_conformance, random_swaps
+
+        rng = np.random.default_rng(42)
+        platform = Platform(mesh=topology)
+        cwg = _random_cwg(rng, 6)
+        context = CwmEvaluationContext(cwg, platform)
+        initial = Mapping.random(cwg.cores, platform.num_tiles, rng=rng)
+        report = check_delta_conformance(
+            cost=context.cost,
+            delta=context.delta,
+            initial=initial,
+            swaps=random_swaps(platform.num_tiles, 60, random.Random(7)),
+            exact_rel=1e-9,
+            label=f"cwm-delta[{topology}]",
+        )
+        assert report.steps == report.exact_steps == 60
+
     def test_empty_empty_swap_is_zero(self, example_platform):
         cwg = cwg_from_edges("two", [("a", "b", 10)])
         context = CwmEvaluationContext(cwg, example_platform)
@@ -238,11 +265,20 @@ class TestCdcmEvaluationContext:
             mapping = Mapping.random(example_cdcg.cores(), 4, rng=seed)
             assert context.cost(mapping) == evaluator.cost(example_cdcg, mapping)
 
-    def test_no_delta_support(self, example_cdcg, example_platform, example_mappings):
+    def test_repair_gate_controls_delta_support(
+        self, example_cdcg, example_platform, example_mappings
+    ):
+        # Default-on: swap deltas are priced by the bounded-repair engine.
         context = CdcmEvaluationContext(example_cdcg, example_platform)
-        assert not context.supports_delta
+        assert context.supports_delta
+        assert context.supports_metric_delta
+        # Pinned off (the ComparisonConfig setting): no delta path at all.
+        pinned = CdcmEvaluationContext(
+            example_cdcg, example_platform, repair=False
+        )
+        assert not pinned.supports_delta
         with pytest.raises(NotImplementedError):
-            context.delta(example_mappings["c"], 0, 1)
+            pinned.delta(example_mappings["c"], 0, 1)
 
     def test_memoises_replays(self, example_cdcg, example_platform, example_mappings):
         context = CdcmEvaluationContext(example_cdcg, example_platform)
@@ -263,10 +299,15 @@ class TestObjectiveIntegration:
         assert objective.supports_delta
         assert delta_callable(objective) is not None
 
-    def test_cdcm_objective_has_no_delta(self, example_cdcg, example_platform):
+    def test_cdcm_objective_delta_follows_repair_gate(
+        self, example_cdcg, example_platform
+    ):
         objective = cdcm_objective(example_cdcg, example_platform)
-        assert not objective.supports_delta
-        assert delta_callable(objective) is None
+        assert objective.supports_delta
+        assert delta_callable(objective) is not None
+        pinned = cdcm_objective(example_cdcg, example_platform, repair=False)
+        assert not pinned.supports_delta
+        assert delta_callable(pinned) is None
 
     def test_plain_callable_has_no_delta(self):
         objective = CountingObjective(lambda m: 0.0)
