@@ -92,6 +92,16 @@ from repro.analysis import (
     weight_sweep_front,
     hypervolume,
 )
+from repro.service import (
+    ResultStore,
+    StoreStats,
+    StoreCorruptionWarning,
+    ServiceBackend,
+    SharedArrayBackend,
+    MappingDaemon,
+    EvalJob,
+    JobResult,
+)
 
 __version__ = "1.0.0"
 
@@ -162,5 +172,13 @@ __all__ = [
     "pareto_front",
     "weight_sweep_front",
     "hypervolume",
+    "ResultStore",
+    "StoreStats",
+    "StoreCorruptionWarning",
+    "ServiceBackend",
+    "SharedArrayBackend",
+    "MappingDaemon",
+    "EvalJob",
+    "JobResult",
     "__version__",
 ]

@@ -20,7 +20,7 @@ This is the experiment behind Table 2: for one application and one NoC,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.cdcm import CdcmEvaluator
 from repro.core.framework import FRWFramework, MappingOutcome
@@ -33,6 +33,9 @@ from repro.search.base import Searcher
 from repro.search.exhaustive import ExhaustiveSearch
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import only used by type checkers
+    from repro.eval.parallel import BatchBackend
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,20 @@ class ComparisonConfig:
         always price by complete replays; set True for production-scale
         sweeps where raw CDCM throughput matters more than bit-stable
         tables.
+    backend:
+        Optional :class:`~repro.eval.parallel.BatchBackend` forwarded to the
+        framework's evaluation contexts — in particular the store-draining
+        :class:`~repro.service.client.ServiceBackend` of the mapping service
+        (:mod:`repro.service`).  Defaults to ``None`` here — and only here —
+        which keeps the reproduced Table 1/2 rows entirely service-free: no
+        persistent store is consulted, so a published row can never be
+        answered by (or polluted through) state left behind by an earlier
+        run.  The service is bit-identical to serial pricing by contract
+        (and pinned so by ``tests/test_service.py``), but the reproduced
+        rows deliberately exercise the seed pricing path, mirroring the
+        ``use_delta`` / ``vectorize`` / ``repair`` conventions.  Pass a
+        backend for production-scale sweeps; the comparison borrows it and
+        never closes it.
     """
 
     method: str = "annealing"
@@ -90,6 +107,7 @@ class ComparisonConfig:
     use_delta: bool = False
     vectorize: bool = False
     repair: bool = False
+    backend: Optional["BatchBackend"] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("annealing", "sa", "exhaustive", "es"):
@@ -197,7 +215,11 @@ def compare_models(
     """
     config = config or ComparisonConfig()
     framework = FRWFramework(
-        cdcg, platform, vectorize=config.vectorize, repair=config.repair
+        cdcg,
+        platform,
+        vectorize=config.vectorize,
+        repair=config.repair,
+        backend=config.backend,
     )
     base_rng = ensure_rng(seed)
 

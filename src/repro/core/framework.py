@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.cdcm import CdcmReport
 from repro.core.cwm import CwmEvaluator
@@ -45,6 +45,9 @@ from repro.search.greedy import GreedyConstructive
 from repro.search.registry import get_searcher
 from repro.utils.errors import ConfigurationError, MappingError
 from repro.utils.rng import RandomSource, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import only used by type checkers
+    from repro.eval.parallel import BatchBackend
 
 #: Models the framework can search with.
 _MODELS = ("cwm", "cdcm")
@@ -116,6 +119,16 @@ class FRWFramework:
     repair_policy:
         Optional :class:`~repro.eval.repair.RepairPolicy` forwarded with
         the ``repair`` gate (resync period, drift bound, closure depth).
+    backend:
+        Optional :class:`~repro.eval.parallel.BatchBackend` forwarded to
+        every evaluation context the framework builds (the shared contexts
+        and each :meth:`objective` context), so batch misses fan out through
+        it — a process pool, or the store-draining
+        :class:`~repro.service.client.ServiceBackend` of the mapping
+        service.  ``None`` (default) prices inline; the comparison driver
+        keeps it ``None`` for the reproduced paper rows (see
+        :class:`~repro.analysis.comparison.ComparisonConfig`).  The
+        framework borrows the backend — callers own its lifecycle.
     """
 
     def __init__(
@@ -126,6 +139,7 @@ class FRWFramework:
         vectorize: Optional[bool] = None,
         repair: Optional[bool] = None,
         repair_policy: Optional[RepairPolicy] = None,
+        backend: Optional["BatchBackend"] = None,
     ) -> None:
         cdcg.validate()
         if cdcg.num_cores > platform.num_tiles:
@@ -143,8 +157,13 @@ class FRWFramework:
         self._vectorize = vectorize
         self._repair = repair
         self._repair_policy = repair_policy
+        self._backend = backend
         self._cwm_context = CwmEvaluationContext(
-            self.cwg, platform, route_table=self.route_table, vectorize=vectorize
+            self.cwg,
+            platform,
+            route_table=self.route_table,
+            vectorize=vectorize,
+            backend=backend,
         )
         self._cdcm_context = CdcmEvaluationContext(
             self.cdcg,
@@ -152,6 +171,7 @@ class FRWFramework:
             route_table=self.route_table,
             repair=repair,
             repair_policy=repair_policy,
+            backend=backend,
         )
         self._cdcm_evaluator = self._cdcm_context.evaluator
         self._cwm_evaluator = CwmEvaluator(platform, route_table=self.route_table)
@@ -197,6 +217,7 @@ class FRWFramework:
                 self.platform,
                 route_table=self.route_table,
                 vectorize=self._vectorize,
+                backend=self._backend,
             )
             if weights is not None:
                 return ScalarisedObjective(context, weights)
@@ -208,6 +229,7 @@ class FRWFramework:
                 route_table=self.route_table,
                 repair=self._repair,
                 repair_policy=self._repair_policy,
+                backend=self._backend,
             )
             if weights is not None:
                 return ScalarisedObjective(context, weights)

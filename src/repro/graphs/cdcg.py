@@ -359,6 +359,29 @@ class CDCG:
         # topological_order raises on cycles.
         self.topological_order()
 
+    def content_hash(self) -> str:
+        """Stable, order-independent digest of the graph's content.
+
+        Keyed on the core list, the packet set (name, source, target,
+        computation time, bits — the full 4-tuple of Definition 2 plus the
+        identifying name) and the dependence set, all canonically sorted —
+        two CDCGs built by inserting the same packets and dependences in any
+        order hash equal, while changing a bit volume, a computation time, a
+        dependence or a core changes the digest.  The workload half of the
+        persistent result-store key (:mod:`repro.service.store`): everything
+        a CDCM replay can observe is covered.
+        """
+        from repro.utils.hashing import stable_digest
+
+        packets = sorted(
+            (p.name, p.source, p.target, float(p.computation_time), p.bits)
+            for p in self.packets
+        )
+        dependences = sorted(self.dependences())
+        return stable_digest(
+            ("cdcg", sorted(self.cores()), packets, dependences)
+        )
+
     def to_networkx(self) -> nx.DiGraph:
         """Export as a :class:`networkx.DiGraph` including Start/End vertices.
 

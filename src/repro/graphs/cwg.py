@@ -198,6 +198,25 @@ class CWG:
                         f"non-positive weight on {source!r}->{target!r}: {bits}"
                     )
 
+    def content_hash(self) -> str:
+        """Stable, order-independent digest of the graph's content.
+
+        Keyed on the core set and the ``(source, target, bits)`` edge set,
+        both canonically sorted — two CWGs built by adding the same edges in
+        any order (or carrying different display names) hash equal, while
+        changing a single bit volume, edge or core changes the digest.  This
+        is the workload half of the persistent result-store key
+        (:mod:`repro.service.store`): everything that can influence a CWM
+        price is covered, nothing that cannot (names, insertion order) is.
+        """
+        from repro.utils.hashing import stable_digest
+
+        edges = sorted(
+            (comm.source, comm.target, comm.bits)
+            for comm in self.communications()
+        )
+        return stable_digest(("cwg", sorted(self._core_set), edges))
+
     def to_networkx(self) -> nx.DiGraph:
         """Export as a :class:`networkx.DiGraph` with ``bits`` edge attributes."""
         graph = nx.DiGraph(name=self.name)

@@ -1,0 +1,272 @@
+"""Shared-memory batch transport for process-pool pricing.
+
+:class:`~repro.eval.parallel.ProcessPoolBackend` ships every candidate chunk
+to its workers by pickling the ``Mapping`` objects — dict payloads whose
+serialisation cost grows with population size and core count.  But a
+population of mappings over one core set is exactly a ``(pop, cores)`` int64
+array under the pinned :meth:`~repro.core.mapping.Mapping.to_index_array`
+contract, and an array crosses the process boundary for free through
+:mod:`multiprocessing.shared_memory`: the parent writes the population into
+one shared segment, workers attach, slice their ``[start:stop)`` rows and
+rebuild mappings locally with
+:meth:`~repro.core.mapping.Mapping.from_index_array`.
+
+:class:`SharedArrayBackend` implements that transport as a drop-in
+:class:`~repro.eval.parallel.ProcessPoolBackend` subclass.  It is
+*transport-only*: the worker prices through the same
+``_compute_metrics_chunk`` as every other backend, chunks are reassembled in
+submission order, and any batch the array protocol cannot express (mixed core
+sets, assignment dicts) silently falls back to the pickling path — so results
+stay bit-identical to :class:`~repro.eval.parallel.SerialBackend` by
+construction (pinned by ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mapping import Mapping
+from repro.eval.parallel import ProcessPoolBackend, _worker_context
+from repro.eval.vector import population_to_array
+from repro.utils.errors import ConfigurationError, MappingError
+
+_PROBE_RESULT: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` works on this host.
+
+    Probes once per process by creating (and immediately unlinking) a tiny
+    segment; containers without a usable ``/dev/shm`` fail the probe and
+    :class:`SharedArrayBackend` then falls back to pickle transport for every
+    batch instead of erroring mid-search.
+    """
+    global _PROBE_RESULT
+    if _PROBE_RESULT is None:
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=8)
+            segment.close()
+            segment.unlink()
+            _PROBE_RESULT = True
+        except (OSError, ValueError):
+            _PROBE_RESULT = False
+    return _PROBE_RESULT
+
+
+def _price_shm_chunk(
+    token: int,
+    payload: bytes,
+    shm_name: str,
+    pop: int,
+    core_order: Tuple[str, ...],
+    num_tiles: Optional[int],
+    start: int,
+    stop: int,
+) -> List[Any]:
+    """Worker task: price rows ``[start, stop)`` of a shared population array.
+
+    Attaches to the named segment, copies its row slice out (so the segment
+    can be closed before any pricing work), rebuilds ``Mapping`` objects
+    under the pinned core order and prices them through the same
+    ``_compute_metrics_chunk`` as the pickle path — transport changes,
+    arithmetic does not.
+
+    The attach registers the segment with the resource tracker (POSIX
+    Pythons < 3.13 register unconditionally), but pool workers inherit the
+    parent's tracker, whose name set is idempotent — the parent's
+    ``unlink()`` removes the single entry, so workers neither unregister
+    (which would double-remove and spam ``KeyError``) nor leak warnings.
+    """
+    segment = shared_memory.SharedMemory(name=shm_name)
+    try:
+        tiles = np.ndarray(
+            (pop, len(core_order)), dtype=np.int64, buffer=segment.buf
+        )
+        rows = tiles[start:stop].copy()
+        del tiles  # release the exported buffer before closing the mmap
+    finally:
+        segment.close()
+    context = _worker_context(token, payload)
+    mappings = [
+        Mapping.from_index_array(core_order, row, num_tiles) for row in rows
+    ]
+    return list(context._compute_metrics_chunk(mappings))
+
+
+class SharedArrayBackend(ProcessPoolBackend):
+    """Process-pool backend shipping candidate batches via shared memory.
+
+    A drop-in :class:`~repro.eval.parallel.ProcessPoolBackend` whose
+    ``evaluate_metrics`` writes the whole batch into one
+    :class:`multiprocessing.shared_memory.SharedMemory` segment as a
+    ``(pop, cores)`` int64 array; each worker attaches and copies out only
+    its row slice.  Per-batch pickling cost drops from O(pop x cores) dict
+    payloads to a constant-size task tuple.
+
+    Parameters
+    ----------
+    n_workers, chunk_size, min_batch_size, start_method:
+        As for :class:`~repro.eval.parallel.ProcessPoolBackend`.
+    transport:
+        ``"auto"`` (default) uses shared memory when the batch qualifies and
+        the host supports it, pickling otherwise; ``"shm"`` and ``"pickle"``
+        force one path (``"shm"`` still falls back per-batch when a batch
+        cannot be expressed as an array — forcing is about benchmarking, not
+        about turning correctness into an error).
+
+    Notes
+    -----
+    A batch qualifies for array transport when every candidate is a
+    :class:`~repro.core.mapping.Mapping` over one common core set.  Batches
+    of assignment dicts or mixed core sets take the inherited pickle path;
+    the :attr:`shm_batches` / :attr:`pickle_batches` counters record which
+    transport each fanned-out batch used (inline-priced small batches count
+    for neither).
+    """
+
+    name = "shm-pool"
+
+    #: Transport modes accepted by ``transport=``.
+    TRANSPORTS = ("auto", "shm", "pickle")
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        min_batch_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        transport: str = "auto",
+    ) -> None:
+        if transport not in self.TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {self.TRANSPORTS}, got {transport!r}"
+            )
+        super().__init__(
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            min_batch_size=min_batch_size,
+            start_method=start_method,
+        )
+        self.transport = transport
+        #: Batches fanned out through the shared-memory path.
+        self.shm_batches = 0
+        #: Batches fanned out through the inherited pickle path.
+        self.pickle_batches = 0
+
+    # ------------------------------------------------------------------
+    def _array_plan(
+        self, items: Sequence[Any]
+    ) -> Optional[Tuple[np.ndarray, Tuple[str, ...], Optional[int]]]:
+        """The ``(rows, core_order, num_tiles)`` plan of a batch, or ``None``.
+
+        ``None`` means the batch cannot ride the array transport: a
+        non-``Mapping`` candidate, or core sets that disagree.  Equal
+        lengths plus a successful
+        :func:`~repro.eval.vector.population_to_array` build under the
+        first mapping's core order imply equal core sets, so no per-item
+        set comparison is needed.
+        """
+        first = items[0]
+        if not isinstance(first, Mapping):
+            return None
+        order = tuple(first.cores)
+        num_tiles = first.num_tiles
+        for item in items:
+            if not isinstance(item, Mapping) or len(item) != len(order):
+                return None
+        try:
+            rows = population_to_array(items, order)
+        except MappingError:
+            return None
+        return rows, order, num_tiles
+
+    def evaluate_metrics(
+        self, context: "Any", mappings: Sequence[Any]
+    ) -> List[Any]:
+        """Metric vectors of *mappings*, shipped by shared memory when possible.
+
+        Small batches (below ``min_batch_size``) are priced inline exactly as
+        the parent class does; qualifying large batches go through one shared
+        segment; everything else falls back to the inherited pickling
+        fan-out.  All three paths run the same pricing code in the same
+        order, so the choice of transport never changes a result.
+        """
+        items = list(mappings)
+        if len(items) < self.min_batch_size:
+            return list(context._compute_metrics_chunk(items))
+        if self.transport == "pickle" or not shared_memory_available():
+            self.pickle_batches += 1
+            return super().evaluate_metrics(context, items)
+        plan = self._array_plan(items)
+        if plan is None:
+            self.pickle_batches += 1
+            return super().evaluate_metrics(context, items)
+        rows, order, num_tiles = plan
+        try:
+            return self._evaluate_shm(context, rows, order, num_tiles)
+        except (OSError, ValueError):
+            # /dev/shm full or segment creation raced an rlimit — price the
+            # batch anyway, just over the slower transport.
+            self.pickle_batches += 1
+            return super().evaluate_metrics(context, items)
+
+    def _evaluate_shm(
+        self,
+        context: "Any",
+        rows: np.ndarray,
+        order: Tuple[str, ...],
+        num_tiles: Optional[int],
+    ) -> List[Any]:
+        token, payload = self._context_payload(context)
+        pop = rows.shape[0]
+        chunk = self.chunk_size or math.ceil(pop / self.n_workers)
+        pool = self._ensure_pool()
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(rows.nbytes, 8)
+        )
+        try:
+            view = np.ndarray(rows.shape, dtype=np.int64, buffer=segment.buf)
+            view[:] = rows
+            del view  # release the exported buffer before close()
+            futures = [
+                pool.submit(
+                    _price_shm_chunk,
+                    token,
+                    payload,
+                    segment.name,
+                    pop,
+                    order,
+                    num_tiles,
+                    start,
+                    min(start + chunk, pop),
+                )
+                for start in range(0, pop, chunk)
+            ]
+            results: List[Any] = []
+            for future in futures:
+                results.extend(future.result())
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink race
+                pass
+        self.shm_batches += 1
+        return results
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return (
+            f"SharedArrayBackend(n_workers={self.n_workers}, "
+            f"transport={self.transport!r}, {state})"
+        )
+
+
+__all__ = [
+    "SharedArrayBackend",
+    "shared_memory_available",
+]

@@ -12,6 +12,7 @@ from repro.utils.errors import (
     SchedulingError,
     ConfigurationError,
 )
+from repro.utils.hashing import canonical_token, stable_digest
 from repro.utils.rng import RandomSource, ensure_rng, spawn_seeds
 from repro.utils.units import (
     NS,
@@ -33,6 +34,8 @@ __all__ = [
     "MappingError",
     "SchedulingError",
     "ConfigurationError",
+    "canonical_token",
+    "stable_digest",
     "RandomSource",
     "ensure_rng",
     "spawn_seeds",

@@ -1,0 +1,99 @@
+"""Stable content digests — the identity currency of the result store.
+
+Python's built-in ``hash()`` is salted per process (strings) and therefore
+useless as a cross-run identity; ``pickle`` bytes are not guaranteed stable
+across versions either.  This module provides the one canonical digest the
+persistent layers key on: :func:`stable_digest` canonicalises a value built
+from plain data (numbers, strings, containers, frozen dataclasses) into an
+unambiguous byte string and hashes it with SHA-256, so the same logical value
+produces the same hex digest in every process, on every run, on every
+platform.
+
+Used by the graph/workload ``content_hash()`` methods
+(:meth:`repro.graphs.cwg.CWG.content_hash`,
+:meth:`repro.graphs.cdcg.CDCG.content_hash`,
+:meth:`repro.workloads.suite.SuiteEntry.content_hash`) and by the
+:mod:`repro.service.store` key construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+from repro.utils.errors import ConfigurationError
+
+
+def canonical_token(value: Any) -> str:
+    """Unambiguous text form of a value built from plain data.
+
+    Supported inputs: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, tuples/lists (ordered), sets/frozensets (canonically sorted)
+    and dicts (sorted by canonical key), plus frozen dataclass instances
+    (class identity + field map) — enough to canonicalise every identity
+    token in the library (topology/routing cache tokens,
+    :class:`~repro.energy.technology.Technology`,
+    :class:`~repro.noc.platform.NocParameters`).  Every token embeds its
+    type, and variable-length parts are length-prefixed, so two distinct
+    values can never canonicalise to the same text.
+
+    Raises
+    ------
+    ConfigurationError
+        For values outside the supported vocabulary (arbitrary objects have
+        no stable identity; canonicalise them explicitly first).
+    """
+    if value is None:
+        return "~"
+    if value is True:
+        return "b1"
+    if value is False:
+        return "b0"
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        # repr() is the shortest round-tripping decimal form — stable across
+        # platforms for IEEE doubles.
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return f"s{len(value)}:{value}"
+    if isinstance(value, (bytes, bytearray)):
+        return f"y{bytes(value).hex()}"
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(canonical_token(item) for item in value) + ")"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical_token(item) for item in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical_token(key), canonical_token(val))
+            for key, val in value.items()
+        )
+        return "[" + ",".join(f"{key}={val}" for key, val in items) + "]"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        fields = {
+            field.name: getattr(value, field.name)
+            for field in dataclasses.fields(value)
+        }
+        return (
+            f"d{cls.__module__}.{cls.__qualname__}" + canonical_token(fields)
+        )
+    raise ConfigurationError(
+        f"cannot canonicalise {type(value).__name__!r} value {value!r} for a "
+        f"stable digest; supported: None/bool/int/float/str/bytes, "
+        f"tuple/list/set/dict, frozen dataclasses"
+    )
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_token` of *value*.
+
+    The digest is deterministic across processes and runs (unlike ``hash()``,
+    which is salted), which is what lets the persistent result store of
+    :mod:`repro.service.store` key cached metric vectors on it.
+    """
+    return hashlib.sha256(canonical_token(value).encode("utf-8")).hexdigest()
+
+
+__all__ = ["canonical_token", "stable_digest"]

@@ -69,6 +69,35 @@ class SuiteEntry:
             return f"{self.mesh.width} x {self.mesh.height}"
         return str(self.mesh)
 
+    def content_hash(self) -> str:
+        """Stable digest of everything that determines this entry's benchmark.
+
+        Covers the generation inputs — name, topology identity
+        (:func:`~repro.noc.topology.topology_cache_token`), the Table-1
+        aggregates and the fixed seed — so two runs (or two processes) agree
+        on the digest of the same row, and any edit to a row changes it.
+        Note the generated CDCG also depends on the ``computation_scale``
+        argument of :meth:`build`; when scaling it away from the default,
+        key result-store entries on the built graph's
+        :meth:`~repro.graphs.cdcg.CDCG.content_hash` instead (the service
+        layer does exactly that).
+        """
+        from repro.noc.topology import topology_cache_token
+        from repro.utils.hashing import stable_digest
+
+        return stable_digest(
+            (
+                "suite-entry",
+                self.name,
+                topology_cache_token(self.mesh),
+                self.num_cores,
+                self.num_packets,
+                self.total_bits,
+                self.seed,
+                self.group,
+            )
+        )
+
     def build(self, computation_scale: float = 0.5) -> CDCG:
         """Generate the benchmark CDCG for this entry.
 

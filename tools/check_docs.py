@@ -43,7 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages whose public API must be fully documented.
-PACKAGES = ["repro.eval", "repro.search", "repro.noc"]
+PACKAGES = ["repro.eval", "repro.search", "repro.noc", "repro.service"]
 
 #: Markdown files whose relative links are verified.
 DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
@@ -263,6 +263,73 @@ def check_repair_sections() -> list:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Mapping-service contract coverage
+# ----------------------------------------------------------------------
+def check_service_sections() -> list:
+    """The mapping-service contracts must stay documented end to end.
+
+    ``repro.service`` modules are swept by the docstring check; this check
+    pins the prose half: ``docs/service.md`` must keep a section per
+    contract (store key, daemon lifecycle, shared-memory transport,
+    bit-identity, the ComparisonConfig pin), the architecture guide must
+    cover the service data flow, and the API guide must document the
+    ``backend`` knob of ``ComparisonConfig`` and every ``EvalJob`` field,
+    so a new knob cannot land undocumented.
+    """
+    import dataclasses
+
+    from repro.service.daemon import EvalJob
+
+    problems = []
+    guide = REPO_ROOT / "docs" / "service.md"
+    if not guide.exists():
+        return ["docs/service.md: file missing (the mapping-service guide)"]
+    text = guide.read_text()
+    headings = [heading.lower() for heading in _HEADING_RE.findall(text)]
+    required = {
+        "store": "the result-store key anatomy",
+        "daemon": "the daemon lifecycle",
+        "shared-memory": "the shared-memory transport",
+        "bit-identity": "the bit-identity contract",
+        "comparisonconfig": "the reproduction pin",
+    }
+    for needle, what in required.items():
+        if not any(needle in heading for heading in headings):
+            problems.append(
+                f"docs/service.md: no section heading names {needle!r} ({what})"
+            )
+    for symbol in ("ResultStore", "MappingDaemon", "SharedArrayBackend",
+                   "ServiceBackend", "tools/serve.py"):
+        if symbol not in text:
+            problems.append(f"docs/service.md: {symbol} is never mentioned")
+    architecture = REPO_ROOT / "docs" / "architecture.md"
+    if architecture.exists():
+        arch_headings = _HEADING_RE.findall(architecture.read_text())
+        if not any(
+            "service" in heading.lower() for heading in arch_headings
+        ):
+            problems.append(
+                "docs/architecture.md: no section heading names the mapping "
+                "service (its data flow is undocumented)"
+            )
+    api = REPO_ROOT / "docs" / "api.md"
+    if api.exists():
+        api_text = api.read_text()
+        if "`ComparisonConfig.backend`" not in api_text:
+            problems.append(
+                "docs/api.md: the `ComparisonConfig.backend` pin is "
+                "undocumented"
+            )
+        for field in dataclasses.fields(EvalJob):
+            if f"`{field.name}" not in api_text and field.name not in api_text:
+                problems.append(
+                    f"docs/api.md: EvalJob field `{field.name}` is "
+                    f"undocumented"
+                )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_docstrings()
@@ -270,6 +337,7 @@ def main() -> int:
         + check_engine_sections()
         + check_topology_sections()
         + check_repair_sections()
+        + check_service_sections()
     )
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
