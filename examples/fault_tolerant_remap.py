@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Fault-tolerant mapping: a link-failure storm survived by incremental remap.
+
+The paper maps applications onto a healthy NoC once, offline.  The dynamic
+scenario engine (`repro.scenario`) extends that story to fabrics that change
+at run time: links fail and come back, and the mapping system has to keep
+every live application placed on a *certified* fabric.  This example drives
+a link-failure storm over a 6x6 mesh carrying three applications and shows
+the pipeline end to end:
+
+1. a deterministic `ScenarioScript` describes the storm — three application
+   arrivals followed by perimeter link failures and repairs;
+2. after every fault the degraded fabric is rebuilt
+   (`IrregularTopology.from_crg`), re-routed with table routing and
+   re-certified deadlock-free **before** any traffic is priced on it;
+3. the `ScenarioRunner` then remaps *incrementally*: only cores on dead
+   tiles or on rerouted flows are re-searched (any registry engine), while
+   every surviving placement stays pinned;
+4. the same storm replayed with `remap="full"` re-places every application
+   from scratch after each event — same verdicts, strictly more tiles
+   searched, and no better a final mapping.
+
+Run with:  python examples/fault_tolerant_remap.py
+(set REPRO_EXAMPLES_SMOKE=1 for the tiny-parameter CI smoke configuration)
+"""
+
+import os
+import time
+
+from repro.scenario import (
+    ApplicationArrival,
+    LinkFailure,
+    LinkRepair,
+    ScenarioRunner,
+    ScenarioScript,
+)
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0", "false")
+
+SEED = 20050307
+
+#: The storm: all failed links sit on the mesh perimeter, so every degraded
+#: fabric re-certifies (an interior failure forces detour turns that close a
+#: channel-dependency cycle under deterministic table routing — the runner
+#: would reject it rather than run traffic on an uncertified fabric).
+EVENTS = (
+    ApplicationArrival("north", 8, 30, 40_000, seed=3),
+    ApplicationArrival("south", 8, 30, 40_000, seed=5),
+    ApplicationArrival("east", 6, 20, 25_000, seed=7),
+    LinkFailure(0, 1),
+    LinkFailure(30, 31),
+    LinkRepair(0, 1),
+    LinkFailure(4, 5),
+    LinkFailure(33, 34),
+    LinkRepair(30, 31),
+    LinkFailure(17, 23),
+)
+
+
+def replay(script: ScenarioScript, remap: str):
+    engine_kwargs = {"samples": 6} if SMOKE else None
+    runner = ScenarioRunner(
+        script,
+        remap=remap,
+        engine="random" if SMOKE else "annealing",
+        engine_kwargs=engine_kwargs,
+    )
+    start = time.perf_counter()
+    trace = runner.run()
+    elapsed = time.perf_counter() - start
+    return trace, elapsed
+
+
+def main() -> None:
+    script = ScenarioScript(
+        name="fault-tolerant-remap",
+        topology="mesh:6x6",
+        seed=SEED,
+        events=EVENTS,
+    )
+    print(
+        f"scenario: {script.name} on mesh:6x6, {len(script.events)} events, "
+        f"script hash {script.content_hash()[:12]}"
+    )
+
+    trace, elapsed = replay(script, "incremental")
+    print("\nincremental replay (only the touched region is re-searched):")
+    for record in trace.records:
+        apps = ", ".join(sorted({l.split(":", 1)[0] for l in record.remapped}))
+        print(
+            f"  [{record.index}] {record.kind:<14} "
+            f"{record.outcome.describe():<55} "
+            f"searched {record.searched_tiles:>3} tiles"
+            + (f", remapped {apps}" if apps else "")
+        )
+
+    full, full_elapsed = replay(script, "full")
+    print(
+        f"\n{'mode':<14} {'tiles searched':>15} {'final cost':>14} "
+        f"{'seconds':>9}"
+    )
+    print(
+        f"{'incremental':<14} {trace.total_searched_tiles:>15,} "
+        f"{trace.final_cost:>14,.1f} {elapsed:>9.3f}"
+    )
+    print(
+        f"{'full':<14} {full.total_searched_tiles:>15,} "
+        f"{full.final_cost:>14,.1f} {full_elapsed:>9.3f}"
+    )
+    saved = 1 - trace.total_searched_tiles / full.total_searched_tiles
+    print(
+        f"\nincremental remapping searched {saved:.0%} fewer tiles and kept "
+        "every surviving placement pinned;"
+    )
+    print(
+        "both replays are deterministic and agree on every event verdict -- "
+        "see docs/scenarios.md and tests/scenario_harness.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

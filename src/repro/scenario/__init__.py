@@ -1,0 +1,72 @@
+"""Dynamic scenarios: fault-injected fabrics and incremental remapping.
+
+This package is the scenario layer of the mapping system: deterministic,
+seeded event scripts (:mod:`repro.scenario.events`) replayed against a
+shared NoC fabric by the :class:`~repro.scenario.runner.ScenarioRunner`.
+Faults rebuild the degraded fabric through
+:meth:`~repro.noc.topology.IrregularTopology.from_crg`, re-derive table
+routing and re-certify deadlock freedom before any traffic is priced
+(:mod:`repro.scenario.fabric`); applications are then remapped
+incrementally — only the region an event touched is re-searched, by any
+registry engine (:mod:`repro.scenario.remap`).
+
+See docs/scenarios.md for the event model, the fault/certify/remap data
+flow and the determinism contract, and ``tests/scenario_harness.py`` for
+the conformance invariants every runner configuration must satisfy.
+"""
+
+from repro.scenario.events import (
+    ApplicationArrival,
+    ApplicationDeparture,
+    EVENT_TYPES,
+    LinkFailure,
+    LinkRepair,
+    RouterFailure,
+    ScenarioEvent,
+    ScenarioScript,
+    event_from_dict,
+    random_script,
+)
+from repro.scenario.fabric import (
+    FAULT_EVENT_KINDS,
+    FabricManager,
+    FabricView,
+    ScenarioOutcome,
+    degraded_topology_from_crg,
+)
+from repro.scenario.remap import RegionObjective, affected_cores, remap_region
+from repro.scenario.runner import (
+    DEFAULT_REGION_SCHEDULE,
+    REMAP_MODES,
+    SCENARIO_MODELS,
+    ScenarioEventRecord,
+    ScenarioRunner,
+    ScenarioTrace,
+)
+
+__all__ = [
+    "ScenarioEvent",
+    "ApplicationArrival",
+    "ApplicationDeparture",
+    "LinkFailure",
+    "LinkRepair",
+    "RouterFailure",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "ScenarioScript",
+    "random_script",
+    "FAULT_EVENT_KINDS",
+    "ScenarioOutcome",
+    "FabricView",
+    "FabricManager",
+    "degraded_topology_from_crg",
+    "affected_cores",
+    "RegionObjective",
+    "remap_region",
+    "REMAP_MODES",
+    "SCENARIO_MODELS",
+    "DEFAULT_REGION_SCHEDULE",
+    "ScenarioEventRecord",
+    "ScenarioTrace",
+    "ScenarioRunner",
+]

@@ -1,0 +1,481 @@
+"""Typed scenario events and seeded, content-addressed scenario scripts.
+
+A *scenario* is a deterministic sequence of lifecycle and fault events played
+against one NoC fabric: applications arrive and depart, links fail and come
+back, routers die.  This module defines the event vocabulary — small frozen
+dataclasses with a stable ``token()`` identity — and the
+:class:`ScenarioScript` container that fixes the base topology, the event
+sequence and the seed every downstream decision (placement search, engine
+randomness) is derived from.
+
+Scripts are *content-addressed*: :meth:`ScenarioScript.content_hash` digests
+the topology identity (:func:`~repro.noc.topology.topology_cache_token`),
+the seed and every event token with
+:func:`~repro.utils.hashing.stable_digest`, so two processes agree on the
+digest of the same scenario and any edit to any event changes it.  They are
+also *replayable as data*: :meth:`ScenarioScript.to_dict` /
+:meth:`ScenarioScript.from_dict` round-trip through plain JSON-able
+structures, which is how the conformance harness prints failing fuzz cases
+(see ``tests/scenario_harness.py``).
+
+:func:`random_script` generates seeded fuzz scripts — mixed arrivals,
+departures and faults that track the fabric state just enough to stay mostly
+plausible (repairs target failed links, departures target live applications)
+while still exercising the rejection paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, List, Optional, Tuple, Union
+
+from repro.graphs.cdcg import CDCG
+from repro.noc.topology import (
+    IrregularTopology,
+    Mesh,
+    Topology,
+    Torus,
+    get_topology,
+    topology_cache_token,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.hashing import stable_digest
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """Base class of all scenario events.
+
+    Events are frozen dataclasses identified by a class-level ``kind``
+    string; :meth:`token` flattens an event into a hashable tuple used by
+    :meth:`ScenarioScript.content_hash` and the trace digests.
+    """
+
+    #: Registry identifier of the event type (set by each subclass).
+    kind: ClassVar[str] = "abstract"
+
+    def token(self) -> Tuple:
+        """Stable hashable identity: the kind plus every field value."""
+        return (self.kind,) + tuple(
+            getattr(self, field.name) for field in fields(self)
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = ", ".join(
+            f"{field.name}={getattr(self, field.name)!r}"
+            for field in fields(self)
+        )
+        return f"{self.kind}({parts})"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation (``kind`` plus the field values)."""
+        payload: Dict[str, object] = {"kind": self.kind}
+        for field in fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class ApplicationArrival(ScenarioEvent):
+    """A new application arrives and must be placed on free tiles.
+
+    The application itself is generated deterministically from the event
+    fields by the TGFF-like benchmark generator, so the event *is* the
+    workload — no out-of-band graph needs to travel with the script.
+
+    Attributes
+    ----------
+    app:
+        Application name; must be unique among live applications.
+    num_cores, num_packets, total_bits:
+        Aggregates handed to :class:`~repro.workloads.tgff.TgffSpec`.
+    seed:
+        Generation seed of the application graph.
+    """
+
+    app: str
+    num_cores: int
+    num_packets: int
+    total_bits: int
+    seed: int
+
+    kind: ClassVar[str] = "arrival"
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError(
+                f"arrival {self.app!r} needs at least one core, "
+                f"got {self.num_cores}"
+            )
+
+    def build(self, computation_scale: float = 0.5) -> CDCG:
+        """Generate the arriving application's CDCG (deterministic)."""
+        from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
+
+        spec = TgffSpec(
+            name=self.app,
+            num_cores=self.num_cores,
+            num_packets=self.num_packets,
+            total_bits=self.total_bits,
+            computation_scale=computation_scale,
+        )
+        return TgffLikeGenerator(self.seed).generate(spec)
+
+
+@dataclass(frozen=True)
+class ApplicationDeparture(ScenarioEvent):
+    """A live application finishes and releases its tiles."""
+
+    app: str
+
+    kind: ClassVar[str] = "departure"
+
+
+@dataclass(frozen=True)
+class LinkFailure(ScenarioEvent):
+    """Both directions of the link between two adjacent tiles fail."""
+
+    source: int
+    target: int
+
+    kind: ClassVar[str] = "link-failure"
+
+    def __post_init__(self) -> None:
+        _check_link_endpoints(self.source, self.target)
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        """Normalised undirected link identity ``(min, max)``."""
+        return (min(self.source, self.target), max(self.source, self.target))
+
+
+@dataclass(frozen=True)
+class LinkRepair(ScenarioEvent):
+    """A previously failed link comes back in both directions."""
+
+    source: int
+    target: int
+
+    kind: ClassVar[str] = "link-repair"
+
+    def __post_init__(self) -> None:
+        _check_link_endpoints(self.source, self.target)
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        """Normalised undirected link identity ``(min, max)``."""
+        return (min(self.source, self.target), max(self.source, self.target))
+
+
+@dataclass(frozen=True)
+class RouterFailure(ScenarioEvent):
+    """A router dies: its tile and every link through it leave the fabric."""
+
+    tile: int
+
+    kind: ClassVar[str] = "router-failure"
+
+    def __post_init__(self) -> None:
+        if self.tile < 0:
+            raise ConfigurationError(
+                f"router index must be non-negative, got {self.tile}"
+            )
+
+
+def _check_link_endpoints(source: int, target: int) -> None:
+    if source == target:
+        raise ConfigurationError(
+            f"link endpoints must differ, got {source}->{target}"
+        )
+    if source < 0 or target < 0:
+        raise ConfigurationError(
+            f"tile indices must be non-negative, got {source}->{target}"
+        )
+
+
+#: Event classes by their ``kind`` string (used by script deserialisation).
+EVENT_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ApplicationArrival,
+        ApplicationDeparture,
+        LinkFailure,
+        LinkRepair,
+        RouterFailure,
+    )
+}
+
+
+def event_from_dict(payload: Dict[str, object]) -> ScenarioEvent:
+    """Rebuild an event from its :meth:`ScenarioEvent.to_dict` payload."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = EVENT_TYPES.get(str(kind))
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown scenario event kind {kind!r}; "
+            f"available: {sorted(EVENT_TYPES)}"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioScript:
+    """A named, seeded event sequence on one base fabric.
+
+    The ``topology`` field accepts a registry spec string (``"mesh:4x4"``)
+    or a concrete :class:`~repro.noc.topology.Topology`; it is resolved once
+    at construction, exactly like :class:`~repro.noc.platform.Platform`.
+
+    Attributes
+    ----------
+    name:
+        Script label (scenario-family identifier in the workload suite).
+    topology:
+        The healthy base fabric every fault is applied against.
+    events:
+        The ordered event sequence.
+    seed:
+        Root seed; every stochastic decision of a replay (placement
+        search randomness) is derived from it and the event index, so the
+        same script replays bit-identically.
+    """
+
+    name: str
+    topology: Union[Topology, str]
+    events: Tuple[ScenarioEvent, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.topology, str):
+            object.__setattr__(self, "topology", get_topology(self.topology))
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, ScenarioEvent):
+                raise ConfigurationError(
+                    f"script {self.name!r} events must be ScenarioEvent "
+                    f"instances, got {type(event).__name__}"
+                )
+
+    def content_hash(self) -> str:
+        """Stable digest of everything that determines a replay.
+
+        Covers the name, the topology identity
+        (:func:`~repro.noc.topology.topology_cache_token`), the seed and
+        every event token — any edit to any of them changes the digest.
+        """
+        return stable_digest(
+            (
+                "scenario-script",
+                self.name,
+                topology_cache_token(self.topology),
+                self.seed,
+                tuple(event.token() for event in self.events),
+            )
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the script."""
+        lines = [
+            f"scenario {self.name!r} on {self.topology} "
+            f"(seed {self.seed}, {len(self.events)} events)"
+        ]
+        for index, event in enumerate(self.events):
+            lines.append(f"  [{index}] {event.describe()}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Replayable serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation; :func:`ScenarioScript.from_dict` inverts it.
+
+        This is the *replayable form* the conformance harness prints when a
+        fuzz script fails an invariant: paste the dict back through
+        :meth:`from_dict` and the failing replay is reproduced exactly.
+        """
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "topology": _topology_to_payload(self.topology),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioScript":
+        """Rebuild a script from its :meth:`to_dict` payload."""
+        return cls(
+            name=str(payload["name"]),
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            topology=_topology_from_payload(payload["topology"]),
+            events=tuple(
+                event_from_dict(item)  # type: ignore[arg-type]
+                for item in payload["events"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+def _topology_to_payload(topology: Union[Topology, str]) -> object:
+    """Serialise a topology as a spec string or an edge-list payload."""
+    if isinstance(topology, str):
+        return topology
+    if isinstance(topology, Torus):
+        return f"torus:{topology.width}x{topology.height}"
+    if isinstance(topology, Mesh):
+        return f"mesh:{topology.width}x{topology.height}"
+    if isinstance(topology, IrregularTopology):
+        return {
+            "name": topology.name,
+            "num_tiles": topology.num_tiles,
+            "edges": [list(edge) for edge in topology.edges()],
+        }
+    raise ConfigurationError(
+        f"cannot serialise topology {topology!r}; expected a spec string, "
+        f"Mesh, Torus or IrregularTopology"
+    )
+
+
+def _topology_from_payload(payload: object) -> Topology:
+    """Inverse of :func:`_topology_to_payload`."""
+    if isinstance(payload, str):
+        return get_topology(payload)
+    if isinstance(payload, dict):
+        return IrregularTopology(
+            [tuple(edge) for edge in payload["edges"]],
+            num_tiles=int(payload["num_tiles"]),
+            name=str(payload.get("name", "irregular")),
+            bidirectional=False,
+        )
+    raise ConfigurationError(
+        f"cannot rebuild a topology from {payload!r}"
+    )
+
+
+def random_script(
+    topology: Union[Topology, str],
+    seed: RandomSource = None,
+    num_events: int = 6,
+    name: Optional[str] = None,
+    max_failed_links: int = 2,
+    max_failed_routers: int = 1,
+    max_apps: int = 3,
+) -> ScenarioScript:
+    """Generate a seeded fuzz script of mixed lifecycle and fault events.
+
+    The generator tracks a light model of the fabric state so most events
+    are plausible (repairs target links that actually failed, departures
+    target live applications, arrivals respect remaining capacity) while
+    duplicate-arrival and over-failure corner cases still occur naturally —
+    the runner treats implausible events as first-class rejections, so the
+    fuzzer intentionally does not filter them all out.
+
+    Parameters
+    ----------
+    topology:
+        Base fabric (spec string or :class:`~repro.noc.topology.Topology`).
+    seed:
+        Root seed; also becomes the script seed (scripts built from the
+        same topology and seed are identical).
+    num_events:
+        Number of events to generate.
+    max_failed_links, max_failed_routers:
+        Soft caps on concurrently failed resources, keeping most degraded
+        fabrics connected so the interesting (applied) paths dominate.
+    max_apps:
+        Soft cap on concurrently live applications.
+    """
+    resolved = get_topology(topology) if isinstance(topology, str) else topology
+    script_seed = seed if isinstance(seed, int) else None
+    rng = ensure_rng(seed)
+    if script_seed is None:
+        script_seed = int(rng.integers(0, 2**31 - 1))
+        rng = ensure_rng(script_seed)
+
+    undirected = sorted(
+        {(min(a, b), max(a, b)) for a, b in resolved.links()}
+    )
+    live_apps: List[str] = []
+    failed_links: List[Tuple[int, int]] = []
+    failed_routers: List[int] = []
+    used_tiles = 0
+    arrivals = 0
+
+    events: List[ScenarioEvent] = []
+    while len(events) < num_events:
+        choice = float(rng.random())
+        if choice < 0.35:
+            # Arrival, capacity permitting.
+            alive = resolved.num_tiles - len(failed_routers)
+            num_cores = int(rng.integers(2, 5))
+            if len(live_apps) >= max_apps or used_tiles + num_cores > alive:
+                continue
+            arrivals += 1
+            app = f"app{arrivals}"
+            events.append(
+                ApplicationArrival(
+                    app=app,
+                    num_cores=num_cores,
+                    num_packets=int(rng.integers(num_cores, 2 * num_cores + 3)),
+                    total_bits=int(rng.integers(1_000, 20_000)),
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                )
+            )
+            live_apps.append(app)
+            used_tiles += num_cores
+        elif choice < 0.50:
+            # Departure of a live application.
+            if not live_apps:
+                continue
+            index = int(rng.integers(len(live_apps)))
+            app = live_apps.pop(index)
+            events.append(ApplicationDeparture(app=app))
+            used_tiles = max(0, used_tiles - 4)
+        elif choice < 0.75:
+            # Link failure.
+            candidates = [
+                link for link in undirected if link not in failed_links
+            ]
+            if not candidates or len(failed_links) >= max_failed_links:
+                continue
+            link = candidates[int(rng.integers(len(candidates)))]
+            events.append(LinkFailure(source=link[0], target=link[1]))
+            failed_links.append(link)
+        elif choice < 0.90:
+            # Repair of a failed link.
+            if not failed_links:
+                continue
+            index = int(rng.integers(len(failed_links)))
+            link = failed_links.pop(index)
+            events.append(LinkRepair(source=link[0], target=link[1]))
+        else:
+            # Router failure.
+            if len(failed_routers) >= max_failed_routers:
+                continue
+            tile = int(rng.integers(resolved.num_tiles))
+            if tile in failed_routers:
+                continue
+            events.append(RouterFailure(tile=tile))
+            failed_routers.append(tile)
+
+    return ScenarioScript(
+        name=name or f"fuzz-{script_seed}",
+        topology=resolved,
+        events=tuple(events),
+        seed=script_seed,
+    )
+
+
+__all__ = [
+    "ScenarioEvent",
+    "ApplicationArrival",
+    "ApplicationDeparture",
+    "LinkFailure",
+    "LinkRepair",
+    "RouterFailure",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "ScenarioScript",
+    "random_script",
+]

@@ -1,0 +1,377 @@
+"""Degraded-fabric management: apply faults, rebuild, re-certify.
+
+The fault half of the scenario engine.  A :class:`FabricManager` owns the
+healthy base :class:`~repro.noc.platform.Platform` and the current fault
+state (failed undirected links, failed routers).  Every fault event is
+*previewed* before it is committed:
+
+1. the surviving communication resource graph is rebuilt — failed routers
+   drop out together with every link through them, failed links drop both
+   directions — and compacted to dense tile indices so
+   :meth:`~repro.noc.topology.IrregularTopology.from_crg` accepts it;
+2. :class:`~repro.noc.routing.TableRouting` next hops are re-derived for the
+   degraded fabric (the table is keyed by the new topology's
+   ``cache_token``, so repeated fault states share tables);
+3. the routing/topology pair is re-certified with
+   :func:`~repro.noc.deadlock.validate_deadlock_free` **before** any traffic
+   is priced on it.
+
+A fabric that disconnects, loses every link, or fails certification is not a
+crash: the preview carries a rejected :class:`ScenarioOutcome` (with the
+witness cycle translated back to base tile indices) and the committed fault
+state stays unchanged — the invariant the conformance harness pins is that
+the *active* fabric is certified after every applied fault.
+
+Because failed routers are compacted away, every :class:`FabricView` carries
+the base↔local tile translation; the scenario runner keeps all placements in
+stable base indices and translates only at the pricing boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.graphs.crg import CRG
+from repro.noc.deadlock import DeadlockReport
+from repro.noc.platform import Platform
+from repro.scenario.events import (
+    LinkFailure,
+    LinkRepair,
+    RouterFailure,
+    ScenarioEvent,
+)
+from repro.utils.errors import ConfigurationError, GraphValidationError
+
+#: Normalised undirected link identity: ``(min_tile, max_tile)``.
+Link = Tuple[int, int]
+
+#: The fault events :class:`FabricManager` knows how to preview.
+FAULT_EVENT_KINDS = (LinkFailure.kind, LinkRepair.kind, RouterFailure.kind)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """First-class verdict of applying one scenario event.
+
+    Every event — applied or rejected — produces one of these; fault events
+    additionally carry the certification verdict of the fabric they tried to
+    install.  A failed certification or a disconnecting fault is a rejected
+    outcome, never an exception.
+
+    Attributes
+    ----------
+    status:
+        ``"applied"`` or ``"rejected"``.
+    reason:
+        Why a rejected event was rejected (``"deadlock"``,
+        ``"disconnected"``, ``"no-capacity"``, ``"unknown-application"``,
+        ...); empty for applied events.
+    deadlock_free:
+        Certification verdict of the fabric the event tried to install
+        (``True`` for events that did not touch the fabric).
+    num_channels, num_dependencies:
+        Size of the analysed channel dependency graph.
+    cycle:
+        Witness cycle in *base* tile indices when certification failed.
+    """
+
+    status: str
+    reason: str = ""
+    deadlock_free: bool = True
+    num_channels: int = 0
+    num_dependencies: int = 0
+    cycle: Tuple[Link, ...] = ()
+
+    @property
+    def applied(self) -> bool:
+        """Whether the event took effect (``status == "applied"``)."""
+        return self.status == "applied"
+
+    def token(self) -> Tuple:
+        """Stable hashable identity used by the trace digest."""
+        return (
+            self.status,
+            self.reason,
+            self.deadlock_free,
+            self.num_channels,
+            self.num_dependencies,
+            self.cycle,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.applied:
+            return (
+                f"applied (deadlock-free, {self.num_channels} channels, "
+                f"{self.num_dependencies} dependencies)"
+            )
+        return f"rejected ({self.reason})"
+
+
+@dataclass(frozen=True)
+class FabricView:
+    """One certified (or rejected) snapshot of the fabric.
+
+    Attributes
+    ----------
+    platform:
+        The platform to price traffic on.  The healthy base platform when no
+        faults are active; otherwise an
+        :class:`~repro.noc.topology.IrregularTopology` over the surviving
+        tiles with table routing.
+    to_local / to_base:
+        Tile translation between stable base indices and the compacted
+        indices of the degraded topology (identity when healthy).
+    certification:
+        The :class:`~repro.noc.deadlock.DeadlockReport` of the platform.
+    failed_links, failed_routers:
+        The fault state this view realises.
+    """
+
+    platform: Platform
+    to_local: Dict[int, int]
+    to_base: Dict[int, int]
+    certification: DeadlockReport
+    failed_links: FrozenSet[Link]
+    failed_routers: FrozenSet[int]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fault is active."""
+        return bool(self.failed_links or self.failed_routers)
+
+    @property
+    def alive_tiles(self) -> List[int]:
+        """Surviving tiles in base indices, ascending."""
+        return sorted(self.to_local)
+
+    def route_base(self, source: int, target: int) -> Tuple[int, ...]:
+        """Route between two base tiles, returned in base indices.
+
+        Both endpoints must be alive in this view (callers translate
+        placements, which never reference dead tiles).
+        """
+        local = self.platform.route(self.to_local[source], self.to_local[target])
+        return tuple(self.to_base[tile] for tile in local)
+
+
+class FabricManager:
+    """Owns the fault state and builds certified views of the fabric.
+
+    Fault events are applied in two phases so a runner can veto a
+    structurally valid fabric for its own reasons (e.g. insufficient
+    capacity for the live placements): :meth:`preview` builds and certifies
+    the would-be fabric without changing anything, :meth:`commit` installs
+    a previewed state.  Views are memoised by fault state, so repair
+    sequences that revisit earlier states rebuild nothing.
+    """
+
+    def __init__(self, base_platform: Platform) -> None:
+        self._base = base_platform
+        self._failed_links: FrozenSet[Link] = frozenset()
+        self._failed_routers: FrozenSet[int] = frozenset()
+        base_crg = base_platform.topology.to_crg()
+        self._positions = {tile.index: tile.position for tile in base_crg.tiles}
+        self._base_links = sorted(
+            (link.source, link.target) for link in base_crg.links
+        )
+        self._undirected = {
+            (min(a, b), max(a, b)) for a, b in self._base_links
+        }
+        self._views: Dict[Tuple[FrozenSet[Link], FrozenSet[int]], FabricView] = {}
+
+    @property
+    def base_platform(self) -> Platform:
+        """The healthy platform the manager was built around."""
+        return self._base
+
+    @property
+    def failed_links(self) -> FrozenSet[Link]:
+        """Currently failed undirected links, as ``(min, max)`` pairs."""
+        return self._failed_links
+
+    @property
+    def failed_routers(self) -> FrozenSet[int]:
+        """Currently failed routers (base tile indices)."""
+        return self._failed_routers
+
+    def current_view(self) -> FabricView:
+        """The view of the currently committed fault state."""
+        return self._view_for(self._failed_links, self._failed_routers)
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def preview(
+        self, event: ScenarioEvent
+    ) -> Tuple[Optional[FabricView], ScenarioOutcome]:
+        """Build and certify the fabric *event* would install; commit nothing.
+
+        Returns
+        -------
+        (view, outcome)
+            The certified view and an applied outcome on success; ``(None,
+            rejected outcome)`` when the event is a no-op against the
+            current fault state, disconnects the fabric, or fails
+            certification.
+        """
+        state = self._next_state(event)
+        if isinstance(state, ScenarioOutcome):
+            return None, state
+        links, routers = state
+        view, outcome = self._build_view(links, routers)
+        if view is None:
+            return None, outcome
+        return view, outcome
+
+    def commit(self, view: FabricView) -> None:
+        """Install a previewed view's fault state as the current one."""
+        self._failed_links = view.failed_links
+        self._failed_routers = view.failed_routers
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_state(self, event: ScenarioEvent):
+        """Fault state *event* asks for, or a rejected outcome if a no-op."""
+        links, routers = self._failed_links, self._failed_routers
+        if isinstance(event, LinkFailure):
+            if event.link not in self._undirected:
+                return _rejected("unknown-link")
+            if event.link in links:
+                return _rejected("link-already-failed")
+            return links | {event.link}, routers
+        if isinstance(event, LinkRepair):
+            if event.link not in links:
+                return _rejected("link-not-failed")
+            return links - {event.link}, routers
+        if isinstance(event, RouterFailure):
+            if not self._base.topology.contains(event.tile):
+                return _rejected("unknown-router")
+            if event.tile in routers:
+                return _rejected("router-already-failed")
+            return links, routers | {event.tile}
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot apply event kind "
+            f"{event.kind!r}; fault kinds are {FAULT_EVENT_KINDS}"
+        )
+
+    def _view_for(
+        self, links: FrozenSet[Link], routers: FrozenSet[int]
+    ) -> FabricView:
+        view, outcome = self._build_view(links, routers)
+        if view is None:  # pragma: no cover - committed states always build
+            raise ConfigurationError(
+                f"committed fault state failed to rebuild: {outcome.describe()}"
+            )
+        return view
+
+    def _build_view(
+        self, links: FrozenSet[Link], routers: FrozenSet[int]
+    ) -> Tuple[Optional[FabricView], ScenarioOutcome]:
+        """Rebuild, re-route and re-certify the fabric of one fault state."""
+        key = (links, routers)
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached, _applied(cached.certification)
+
+        if not links and not routers:
+            platform = self._base
+            identity = {tile: tile for tile in platform.topology.tiles()}
+            certification = platform.validate_deadlock_free(raise_on_cycle=False)
+            view = FabricView(
+                platform=platform,
+                to_local=identity,
+                to_base=dict(identity),
+                certification=certification,
+                failed_links=links,
+                failed_routers=routers,
+            )
+            self._views[key] = view
+            return view, _applied(certification)
+
+        alive = [
+            tile
+            for tile in self._base.topology.tiles()
+            if tile not in routers
+        ]
+        if not alive:
+            return None, _rejected("disconnected")
+        to_local = {base: local for local, base in enumerate(alive)}
+        to_base = {local: base for base, local in to_local.items()}
+
+        crg = CRG(f"degraded-{len(links)}l-{len(routers)}r")
+        for base_tile in alive:
+            x, y = self._positions[base_tile]
+            crg.add_tile(to_local[base_tile], x, y)
+        for source, target in self._base_links:
+            if source in routers or target in routers:
+                continue
+            if (min(source, target), max(source, target)) in links:
+                continue
+            crg.add_link(to_local[source], to_local[target])
+
+        try:
+            topology = degraded_topology_from_crg(crg)
+        except (ConfigurationError, GraphValidationError):
+            return None, _rejected("disconnected")
+
+        platform = self._base.with_topology(topology).with_routing("table")
+        certification = platform.validate_deadlock_free(raise_on_cycle=False)
+        if not certification:
+            witness = tuple(
+                (to_base[a], to_base[b]) for a, b in certification.cycle
+            )
+            return None, ScenarioOutcome(
+                status="rejected",
+                reason="deadlock",
+                deadlock_free=False,
+                num_channels=certification.num_channels,
+                num_dependencies=certification.num_dependencies,
+                cycle=witness,
+            )
+        view = FabricView(
+            platform=platform,
+            to_local=to_local,
+            to_base=to_base,
+            certification=certification,
+            failed_links=links,
+            failed_routers=routers,
+        )
+        self._views[key] = view
+        return view, _applied(certification)
+
+
+def degraded_topology_from_crg(crg: CRG):
+    """Build the degraded topology through ``IrregularTopology.from_crg``.
+
+    Kept as a module-level seam so tests can assert degraded fabrics really
+    travel through the public ``from_crg`` constructor (and monkeypatch it).
+    """
+    from repro.noc.topology import IrregularTopology
+
+    return IrregularTopology.from_crg(crg)
+
+
+def _applied(certification: DeadlockReport) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        status="applied",
+        deadlock_free=certification.deadlock_free,
+        num_channels=certification.num_channels,
+        num_dependencies=certification.num_dependencies,
+    )
+
+
+def _rejected(reason: str) -> ScenarioOutcome:
+    return ScenarioOutcome(status="rejected", reason=reason)
+
+
+__all__ = [
+    "Link",
+    "FAULT_EVENT_KINDS",
+    "ScenarioOutcome",
+    "FabricView",
+    "FabricManager",
+    "degraded_topology_from_crg",
+]

@@ -1,0 +1,598 @@
+"""Deterministic scenario replay: scripts in, per-event traces out.
+
+:class:`ScenarioRunner` replays a :class:`~repro.scenario.events.ScenarioScript`
+event by event:
+
+* **arrivals** generate the application deterministically from the event,
+  then place it on free tiles with a region search
+  (:func:`~repro.scenario.remap.remap_region`) driven by any registry
+  engine;
+* **departures** release the application's tiles;
+* **faults and repairs** go through the
+  :class:`~repro.scenario.fabric.FabricManager` — rebuild, re-route,
+  re-certify — and, when the new fabric is certified, remap only the
+  affected region (``remap="incremental"``) or every live placement
+  (``remap="full"``); an uncertifiable or disconnecting fault is a rejected
+  :class:`~repro.scenario.fabric.ScenarioOutcome` and the previous fabric
+  stays active.
+
+After every event the runner prices each live application through its
+:class:`~repro.eval.context.EvaluationContext` on the active fabric and
+appends a :class:`ScenarioEventRecord` — outcome, certification verdict,
+remap scope, full placements and metrics — to the
+:class:`ScenarioTrace`.
+
+Determinism contract
+--------------------
+A trace is a pure function of ``(script, runner configuration)``: every
+random draw comes from a generator seeded by ``(script.seed, event_index,
+app_ordinal)``, pricing flows through the memoised contexts whose results
+are pinned bit-identical across serial and pooled backends, and
+:meth:`ScenarioTrace.content_hash` digests every record — so replaying the
+same script twice, or once per backend, yields byte-equal digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import Mapping
+from repro.eval.context import (
+    CdcmEvaluationContext,
+    CwmEvaluationContext,
+    EvaluationContext,
+)
+from repro.graphs.cdcg import CDCG
+from repro.graphs.convert import cdcg_to_cwg
+from repro.graphs.cwg import CWG
+from repro.noc.platform import Platform
+from repro.scenario.events import (
+    ApplicationArrival,
+    ApplicationDeparture,
+    ScenarioEvent,
+    ScenarioScript,
+)
+from repro.scenario.fabric import (
+    FAULT_EVENT_KINDS,
+    FabricManager,
+    FabricView,
+    ScenarioOutcome,
+)
+from repro.scenario.remap import affected_cores, remap_region
+from repro.search.annealing import AnnealingSchedule
+from repro.search.registry import get_searcher
+from repro.utils.errors import ConfigurationError
+from repro.utils.hashing import stable_digest
+
+#: Remap modes accepted by :class:`ScenarioRunner`.
+REMAP_MODES = ("incremental", "full")
+
+#: Default annealing schedule of region searches.  Regions are small (a few
+#: movable cores over a handful of tiles), so a short, stall-bounded budget
+#: replaces the paper-scale default of 100k evaluations — pass an explicit
+#: ``engine_kwargs={"schedule": ...}`` to override.
+DEFAULT_REGION_SCHEDULE = AnnealingSchedule(
+    max_evaluations=300, stall_plateaus=5
+)
+
+#: Cost models accepted by :class:`ScenarioRunner`.
+SCENARIO_MODELS = ("cwm", "cdcm")
+
+
+@dataclass(frozen=True)
+class ScenarioEventRecord:
+    """Everything one event did to the system — one trace row.
+
+    Attributes
+    ----------
+    index:
+        Event position in the script.
+    kind:
+        Event kind string.
+    event_token:
+        The event's stable identity (:meth:`ScenarioEvent.token`).
+    outcome:
+        Applied/rejected verdict with the certification report.
+    remapped:
+        ``"app:core"`` labels of every core re-searched by this event.
+    searched_tiles:
+        Total size of the searched tile regions (summed over applications).
+    alive_tiles:
+        Surviving tile count of the active fabric after the event.
+    placements:
+        Full placement snapshot: ``(app, ((core, base_tile), ...))`` sorted
+        by application name.
+    metrics:
+        Per-application component vectors: ``(app, ((name, value), ...))``.
+    total_cost:
+        Sum of the per-application scalar costs on the active fabric.
+    """
+
+    index: int
+    kind: str
+    event_token: Tuple
+    outcome: ScenarioOutcome
+    remapped: Tuple[str, ...]
+    searched_tiles: int
+    alive_tiles: int
+    placements: Tuple[Tuple[str, Tuple[Tuple[str, int], ...]], ...]
+    metrics: Tuple[Tuple[str, Tuple[Tuple[str, float], ...]], ...]
+    total_cost: float
+
+    def token(self) -> Tuple:
+        """Stable hashable identity of the full record."""
+        return (
+            self.index,
+            self.kind,
+            self.event_token,
+            self.outcome.token(),
+            self.remapped,
+            self.searched_tiles,
+            self.alive_tiles,
+            self.placements,
+            self.metrics,
+            self.total_cost,
+        )
+
+    def placement_of(self, app: str) -> Dict[str, int]:
+        """Placement snapshot of one application as a plain dict."""
+        for name, assignment in self.placements:
+            if name == app:
+                return dict(assignment)
+        raise KeyError(app)
+
+    @property
+    def apps(self) -> Tuple[str, ...]:
+        """Live application names at this record, sorted."""
+        return tuple(name for name, _ in self.placements)
+
+
+@dataclass(frozen=True)
+class ScenarioTrace:
+    """The complete, digestible history of one scenario replay.
+
+    Attributes
+    ----------
+    script_hash:
+        :meth:`~repro.scenario.events.ScenarioScript.content_hash` of the
+        replayed script.
+    base_outcome:
+        Certification verdict of the healthy base fabric (before event 0).
+    records:
+        One :class:`ScenarioEventRecord` per script event, in order.
+    """
+
+    script_hash: str
+    base_outcome: ScenarioOutcome
+    records: Tuple[ScenarioEventRecord, ...]
+
+    def content_hash(self) -> str:
+        """Stable digest of the whole trace.
+
+        Two replays of the same script under the same runner configuration
+        must produce equal digests — this is the bit-identity the
+        conformance harness asserts across replays and across pricing
+        backends.
+        """
+        return stable_digest(
+            (
+                "scenario-trace",
+                self.script_hash,
+                self.base_outcome.token(),
+                tuple(record.token() for record in self.records),
+            )
+        )
+
+    @property
+    def num_applied(self) -> int:
+        """Number of events that took effect."""
+        return sum(1 for record in self.records if record.outcome.applied)
+
+    @property
+    def total_searched_tiles(self) -> int:
+        """Total searched-region size over the whole replay."""
+        return sum(record.searched_tiles for record in self.records)
+
+    @property
+    def final_cost(self) -> float:
+        """Total cost after the last event (0.0 for an empty script)."""
+        return self.records[-1].total_cost if self.records else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation (for logs and bench artifacts)."""
+        return {
+            "script_hash": self.script_hash,
+            "content_hash": self.content_hash(),
+            "base_certified": self.base_outcome.deadlock_free,
+            "records": [
+                {
+                    "index": record.index,
+                    "kind": record.kind,
+                    "status": record.outcome.status,
+                    "reason": record.outcome.reason,
+                    "deadlock_free": record.outcome.deadlock_free,
+                    "remapped": list(record.remapped),
+                    "searched_tiles": record.searched_tiles,
+                    "alive_tiles": record.alive_tiles,
+                    "total_cost": record.total_cost,
+                }
+                for record in self.records
+            ],
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"trace {self.content_hash()[:12]}: {len(self.records)} events, "
+            f"{self.num_applied} applied, "
+            f"base {'certified' if self.base_outcome.deadlock_free else 'UNCERTIFIED'}"
+        ]
+        for record in self.records:
+            lines.append(
+                f"  [{record.index}] {record.kind}: "
+                f"{record.outcome.describe()}, "
+                f"remapped {len(record.remapped)} cores over "
+                f"{record.searched_tiles} tiles, cost {record.total_cost:.6g}"
+            )
+        return "\n".join(lines)
+
+
+class _AppState:
+    """Mutable per-application bookkeeping of one replay (internal)."""
+
+    def __init__(self, name: str, ordinal: int, cdcg: CDCG, cwg: CWG) -> None:
+        self.name = name
+        self.ordinal = ordinal
+        self.cdcg = cdcg
+        self.cwg = cwg
+        self.cores: Tuple[str, ...] = tuple(sorted(cwg.cores))
+        self.flows: Tuple[Tuple[str, str], ...] = tuple(
+            (comm.source, comm.target) for comm in cwg.communications()
+        )
+        self.placement: Dict[str, int] = {}
+
+
+class ScenarioRunner:
+    """Replays a scenario script into a deterministic per-event trace.
+
+    Parameters
+    ----------
+    script:
+        The :class:`~repro.scenario.events.ScenarioScript` to replay.
+    model:
+        Pricing model per application: ``"cwm"`` (communication-weighted)
+        or ``"cdcm"`` (contention-aware).  Applications are priced
+        independently on the shared fabric; cross-application link
+        contention is not modelled (see docs/scenarios.md).
+    engine:
+        Registry name of the search engine driving every region re-search
+        (:func:`~repro.search.registry.get_searcher`).
+    engine_kwargs:
+        Constructor keywords for the engine (schedules, budgets, ...).
+    remap:
+        ``"incremental"`` re-searches only the affected region of a fault;
+        ``"full"`` re-searches every live placement (the baseline the
+        benchmark compares against).  Arrivals always search exactly the
+        arriving application under both modes.
+    backend:
+        Optional :class:`~repro.eval.parallel.BatchBackend` the per-event
+        pricing flows through; traces are bit-identical across backends.
+    routing:
+        Routing spec of the *healthy* base platform (degraded fabrics
+        always use ``"table"``, re-derived per fault state).
+    computation_scale:
+        Forwarded to arriving applications' generators.
+    """
+
+    def __init__(
+        self,
+        script: ScenarioScript,
+        model: str = "cwm",
+        engine: str = "annealing",
+        engine_kwargs: Optional[Dict[str, object]] = None,
+        remap: str = "incremental",
+        backend=None,
+        routing: str = "table",
+        computation_scale: float = 0.5,
+    ) -> None:
+        if model not in SCENARIO_MODELS:
+            raise ConfigurationError(
+                f"unknown scenario model {model!r}; available: {SCENARIO_MODELS}"
+            )
+        if remap not in REMAP_MODES:
+            raise ConfigurationError(
+                f"unknown remap mode {remap!r}; available: {REMAP_MODES}"
+            )
+        self.script = script
+        self.model = model
+        self.remap = remap
+        self.backend = backend
+        self.routing = routing
+        self.computation_scale = computation_scale
+        engine_kwargs = dict(engine_kwargs or {})
+        if engine.lower() in ("annealing", "sa") and "schedule" not in engine_kwargs:
+            engine_kwargs["schedule"] = DEFAULT_REGION_SCHEDULE
+        self._engine = get_searcher(engine, **engine_kwargs)
+        self._contexts: Dict[Tuple[str, Tuple], EvaluationContext] = {}
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioTrace:
+        """Replay the script and return its trace.
+
+        Stateless across calls: every invocation rebuilds the fabric and
+        the application set from scratch, so two ``run()`` calls on one
+        runner return equal traces.
+        """
+        self._contexts.clear()
+        fabric = FabricManager(
+            Platform(mesh=self.script.topology, routing=self.routing)
+        )
+        view = fabric.current_view()
+        base_outcome = ScenarioOutcome(
+            status="applied",
+            deadlock_free=view.certification.deadlock_free,
+            num_channels=view.certification.num_channels,
+            num_dependencies=view.certification.num_dependencies,
+            cycle=view.certification.cycle,
+        )
+        apps: Dict[str, _AppState] = {}
+        records: List[ScenarioEventRecord] = []
+        ordinal = 0
+
+        for index, event in enumerate(self.script.events):
+            remapped: Tuple[str, ...] = ()
+            searched = 0
+            if isinstance(event, ApplicationArrival):
+                outcome, view, placed, searched, ordinal = self._handle_arrival(
+                    event, index, fabric, view, apps, ordinal
+                )
+                remapped = placed
+            elif isinstance(event, ApplicationDeparture):
+                if event.app not in apps:
+                    outcome = ScenarioOutcome(
+                        status="rejected", reason="unknown-application"
+                    )
+                else:
+                    del apps[event.app]
+                    outcome = ScenarioOutcome(status="applied")
+            elif event.kind in FAULT_EVENT_KINDS:
+                outcome, view, remapped, searched = self._handle_fault(
+                    event, index, fabric, view, apps
+                )
+            else:  # pragma: no cover - the event vocabulary is closed
+                raise ConfigurationError(
+                    f"unhandled scenario event kind {event.kind!r}"
+                )
+            records.append(
+                self._record(index, event, outcome, remapped, searched, view, apps)
+            )
+        return ScenarioTrace(
+            script_hash=self.script.content_hash(),
+            base_outcome=base_outcome,
+            records=tuple(records),
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_arrival(
+        self,
+        event: ApplicationArrival,
+        index: int,
+        fabric: FabricManager,
+        view: FabricView,
+        apps: Dict[str, _AppState],
+        ordinal: int,
+    ):
+        """Place an arriving application on free tiles (or reject)."""
+        if event.app in apps:
+            return (
+                ScenarioOutcome(status="rejected", reason="duplicate-application"),
+                view,
+                (),
+                0,
+                ordinal,
+            )
+        free = self._free_tiles(view, apps)
+        if len(free) < event.num_cores:
+            return (
+                ScenarioOutcome(status="rejected", reason="no-capacity"),
+                view,
+                (),
+                0,
+                ordinal,
+            )
+        cdcg = event.build(self.computation_scale)
+        state = _AppState(event.app, ordinal, cdcg, cdcg_to_cwg(cdcg))
+        new_placement = self._search(
+            state, view, movable=state.cores, allowed_base=free, event_index=index
+        )
+        state.placement = new_placement
+        apps[event.app] = state
+        labels = tuple(f"{event.app}:{core}" for core in state.cores)
+        return (
+            ScenarioOutcome(
+                status="applied",
+                deadlock_free=view.certification.deadlock_free,
+                num_channels=view.certification.num_channels,
+                num_dependencies=view.certification.num_dependencies,
+            ),
+            view,
+            labels,
+            len(free),
+            ordinal + 1,
+        )
+
+    def _handle_fault(
+        self,
+        event: ScenarioEvent,
+        index: int,
+        fabric: FabricManager,
+        view: FabricView,
+        apps: Dict[str, _AppState],
+    ):
+        """Preview, certify and (maybe) commit a fault, then remap."""
+        new_view, outcome = fabric.preview(event)
+        if new_view is None:
+            return outcome, view, (), 0
+        total_cores = sum(len(state.cores) for state in apps.values())
+        if total_cores > len(new_view.to_local):
+            return (
+                ScenarioOutcome(status="rejected", reason="no-capacity"),
+                view,
+                (),
+                0,
+            )
+        fabric.commit(new_view)
+
+        remapped: List[str] = []
+        searched = 0
+        ordered = sorted(apps.values(), key=lambda state: state.ordinal)
+        for state in ordered:
+            if self.remap == "full":
+                movable = state.cores
+            else:
+                movable = tuple(
+                    sorted(
+                        affected_cores(
+                            state.flows, state.placement, view, new_view
+                        )
+                    )
+                )
+            if not movable:
+                continue
+            survivors = sorted(
+                state.placement[core]
+                for core in movable
+                if state.placement[core] in new_view.to_local
+            )
+            free = self._free_tiles(new_view, apps)
+            allowed = sorted(set(survivors) | set(free))
+            new_tiles = self._search(
+                state,
+                new_view,
+                movable=movable,
+                allowed_base=allowed,
+                event_index=index,
+            )
+            state.placement.update(new_tiles)
+            remapped.extend(f"{state.name}:{core}" for core in movable)
+            searched += len(allowed)
+        return outcome, new_view, tuple(remapped), searched
+
+    # ------------------------------------------------------------------
+    # Search and pricing plumbing
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        state: _AppState,
+        view: FabricView,
+        movable: Tuple[str, ...],
+        allowed_base: List[int],
+        event_index: int,
+    ) -> Dict[str, int]:
+        """Run one seeded region search; returns base-tile placements."""
+        context = self._context_for(state, view)
+        local_placement = {
+            core: view.to_local[tile]
+            for core, tile in state.placement.items()
+            if tile in view.to_local
+        }
+        allowed_local = [view.to_local[tile] for tile in allowed_base]
+        rng = np.random.default_rng(
+            (self.script.seed, event_index, state.ordinal)
+        )
+        chosen = remap_region(
+            context,
+            local_placement,
+            movable,
+            allowed_local,
+            self._engine,
+            rng,
+        )
+        return {core: view.to_base[tile] for core, tile in chosen.items()}
+
+    def _context_for(
+        self, state: _AppState, view: FabricView
+    ) -> EvaluationContext:
+        """The application's pricing context on the view's fabric (cached)."""
+        from repro.noc.topology import topology_cache_token
+
+        key = (state.name, topology_cache_token(view.platform.topology))
+        context = self._contexts.get(key)
+        if context is None:
+            if self.model == "cwm":
+                context = CwmEvaluationContext(state.cwg, view.platform)
+            else:
+                context = CdcmEvaluationContext(state.cdcg, view.platform)
+            self._contexts[key] = context
+        return context
+
+    def _free_tiles(
+        self, view: FabricView, apps: Dict[str, _AppState]
+    ) -> List[int]:
+        """Alive base tiles not occupied by any live application, sorted."""
+        occupied = {
+            tile
+            for state in apps.values()
+            for tile in state.placement.values()
+        }
+        return [tile for tile in view.alive_tiles if tile not in occupied]
+
+    def _record(
+        self,
+        index: int,
+        event: ScenarioEvent,
+        outcome: ScenarioOutcome,
+        remapped: Tuple[str, ...],
+        searched: int,
+        view: FabricView,
+        apps: Dict[str, _AppState],
+    ) -> ScenarioEventRecord:
+        """Price every live application on the active fabric and snapshot."""
+        placements = []
+        metrics = []
+        total = 0.0
+        for name in sorted(apps):
+            state = apps[name]
+            context = self._context_for(state, view)
+            local = Mapping(
+                {
+                    core: view.to_local[tile]
+                    for core, tile in state.placement.items()
+                },
+                num_tiles=view.platform.num_tiles,
+            )
+            vector = context.evaluate_metrics_batch([local], backend=self.backend)[0]
+            total += vector.weighted_sum(context.weights, strict=False)
+            placements.append(
+                (name, tuple(sorted(state.placement.items())))
+            )
+            metrics.append((name, tuple(sorted(vector.as_dict().items()))))
+        return ScenarioEventRecord(
+            index=index,
+            kind=event.kind,
+            event_token=event.token(),
+            outcome=outcome,
+            remapped=remapped,
+            searched_tiles=searched,
+            alive_tiles=len(view.to_local),
+            placements=tuple(placements),
+            metrics=tuple(metrics),
+            total_cost=total,
+        )
+
+
+__all__ = [
+    "REMAP_MODES",
+    "SCENARIO_MODELS",
+    "DEFAULT_REGION_SCHEDULE",
+    "ScenarioEventRecord",
+    "ScenarioTrace",
+    "ScenarioRunner",
+]

@@ -27,7 +27,12 @@ from repro.workloads.embedded import (
     embedded_applications,
 )
 from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
-from repro.workloads.suite import SuiteEntry, table1_suite, suite_entry_by_name
+from repro.workloads.suite import (
+    SuiteEntry,
+    scenario_suite,
+    suite_entry_by_name,
+    table1_suite,
+)
 
 __all__ = [
     "paper_example_cdcg",
@@ -44,4 +49,5 @@ __all__ = [
     "SuiteEntry",
     "table1_suite",
     "suite_entry_by_name",
+    "scenario_suite",
 ]

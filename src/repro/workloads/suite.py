@@ -16,7 +16,10 @@ not the applications themselves — when a quick run is needed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.scenario.events import ScenarioScript
 
 from repro.graphs.cdcg import CDCG
 from repro.noc.topology import Mesh
@@ -202,4 +205,119 @@ def suite_by_noc_size() -> Dict[str, List[SuiteEntry]]:
     return grouped
 
 
-__all__ = ["SuiteEntry", "table1_suite", "suite_entry_by_name", "suite_by_noc_size"]
+def _notched_mesh():
+    """A 3x3 mesh with the (0, 1) link removed, as an irregular topology.
+
+    The canonical irregular-but-certifiable fabric of the scenario suite:
+    table routing on it stays deadlock-free (unlike rings and tori), yet it
+    exercises the :class:`~repro.noc.topology.IrregularTopology` code paths
+    end to end.
+    """
+    from repro.graphs.crg import CRG
+    from repro.noc.topology import IrregularTopology, Mesh
+
+    base = Mesh(3, 3).to_crg()
+    crg = CRG("notched-3x3")
+    for tile in base.tiles:
+        crg.add_tile(tile.index, *tile.position)
+    for link in base.links:
+        if {link.source, link.target} == {0, 1}:
+            continue
+        crg.add_link(link.source, link.target)
+    return IrregularTopology.from_crg(crg)
+
+
+def scenario_suite() -> List["ScenarioScript"]:
+    """The scenario families of the dynamic-scenario engine, as fixed scripts.
+
+    Each entry is a deterministic
+    :class:`~repro.scenario.events.ScenarioScript` exercising one family of
+    dynamic behaviour; CI runs the whole engine matrix (models, engines,
+    remap modes, backends) over these through the conformance harness:
+
+    * ``mesh-link-storm`` — a burst of link failures and a repair on a 4x4
+      mesh under a live application;
+    * ``mesh-churn`` — application arrivals and departures on a 3x3 mesh
+      with a fault in between;
+    * ``router-outage`` — a router failure (tile compaction path) on a 4x4
+      mesh;
+    * ``torus-fault`` — a fault on a 3x3 torus, pinning the
+      rejected-certification path (table routing on tori is not
+      deadlock-free);
+    * ``irregular-fault`` — a fault on an irregular (notched-mesh) fabric.
+    """
+    from repro.scenario.events import (
+        ApplicationArrival,
+        ApplicationDeparture,
+        LinkFailure,
+        LinkRepair,
+        RouterFailure,
+        ScenarioScript,
+    )
+
+    return [
+        ScenarioScript(
+            name="mesh-link-storm",
+            topology="mesh:4x4",
+            seed=41,
+            events=(
+                ApplicationArrival("storm-app", 5, 12, 6_000, seed=7),
+                LinkFailure(0, 1),
+                LinkFailure(12, 13),
+                LinkFailure(3, 7),
+                LinkRepair(12, 13),
+            ),
+        ),
+        ScenarioScript(
+            name="mesh-churn",
+            topology="mesh:3x3",
+            seed=42,
+            events=(
+                ApplicationArrival("churn-a", 3, 8, 2_000, seed=11),
+                ApplicationArrival("churn-b", 3, 8, 3_000, seed=13),
+                LinkFailure(3, 6),
+                ApplicationDeparture("churn-a"),
+                ApplicationArrival("churn-c", 2, 6, 1_500, seed=17),
+                LinkRepair(3, 6),
+            ),
+        ),
+        ScenarioScript(
+            name="router-outage",
+            topology="mesh:4x4",
+            seed=43,
+            events=(
+                ApplicationArrival("outage-app", 4, 10, 4_000, seed=19),
+                RouterFailure(0),
+                LinkFailure(14, 15),
+            ),
+        ),
+        ScenarioScript(
+            name="torus-fault",
+            topology="torus:3x3",
+            seed=44,
+            events=(
+                ApplicationArrival("torus-app", 3, 8, 2_500, seed=23),
+                LinkFailure(0, 1),
+                LinkFailure(4, 5),
+            ),
+        ),
+        ScenarioScript(
+            name="irregular-fault",
+            topology=_notched_mesh(),
+            seed=45,
+            events=(
+                ApplicationArrival("irr-app", 3, 8, 2_200, seed=29),
+                LinkFailure(7, 8),
+                LinkRepair(7, 8),
+            ),
+        ),
+    ]
+
+
+__all__ = [
+    "SuiteEntry",
+    "table1_suite",
+    "suite_entry_by_name",
+    "suite_by_noc_size",
+    "scenario_suite",
+]

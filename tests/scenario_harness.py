@@ -1,0 +1,276 @@
+"""Reusable scenario-conformance harness (sibling of ``delta_harness``).
+
+Every runner configuration of the scenario engine makes the same four
+promises, independent of engine, model, remap mode or pricing backend:
+
+* **determinism** — replaying a script twice yields bit-identical
+  :class:`~repro.scenario.runner.ScenarioTrace` digests, and so does
+  replaying it under any alternative configuration that only moves *where*
+  pricing runs (serial vs pooled backends);
+* **deadlock freedom after every fault** — an applied fault event always
+  installs a fabric that :func:`~repro.noc.deadlock.validate_deadlock_free`
+  certified (the only tolerated exception is a repair returning the fabric
+  to a base state that was never certified to begin with, e.g. a torus);
+* **remap-scope minimality** — incremental remapping never searches a
+  larger region than a full re-search of the same event, rejected events
+  search nothing, and every remapped core belongs to a live application;
+* **survivor-placement stability** — cores outside an event's remap scope
+  keep their tiles, and rejected events change neither placements, nor the
+  fabric, nor the cost.
+
+:func:`check_scenario_conformance` walks one script under a caller-supplied
+runner factory and asserts all of the above; on any violation the assertion
+message embeds the script in its replayable ``to_dict`` JSON form, so a
+failing fuzz case can be pasted straight back through
+:meth:`~repro.scenario.events.ScenarioScript.from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.scenario.events import ApplicationArrival, ScenarioScript
+from repro.scenario.fabric import FAULT_EVENT_KINDS
+from repro.scenario.runner import ScenarioRunner, ScenarioTrace
+
+
+@dataclass
+class ScenarioConformanceReport:
+    """What a conformance walk observed — for assertions beyond the invariants.
+
+    Attributes
+    ----------
+    trace:
+        The reference trace of the primary runner configuration.
+    full_trace:
+        The full-remap trace, when a full-mode factory was supplied.
+    compared:
+        Number of alternative configurations checked for bit-identity.
+    """
+
+    trace: ScenarioTrace
+    full_trace: Optional[ScenarioTrace] = None
+    compared: int = 0
+
+
+def replayable(script: ScenarioScript) -> str:
+    """The script in replayable JSON form (for failure messages)."""
+    return json.dumps(script.to_dict(), sort_keys=True)
+
+
+def check_scenario_conformance(
+    script: ScenarioScript,
+    runner_factory: Callable[[], ScenarioRunner],
+    compare_factories: Sequence[Callable[[], ScenarioRunner]] = (),
+    full_factory: Optional[Callable[[], ScenarioRunner]] = None,
+    label: str = "scenario",
+) -> ScenarioConformanceReport:
+    """Replay *script* and assert the scenario-engine invariants.
+
+    Parameters
+    ----------
+    script:
+        The scenario under test.
+    runner_factory:
+        Zero-argument callable building a **fresh** primary runner for the
+        script (called twice to check replay determinism).
+    compare_factories:
+        Further factories (e.g. the same configuration on a
+        :class:`~repro.eval.parallel.ProcessPoolBackend`) whose traces must
+        be bit-identical to the primary one.
+    full_factory:
+        Optional factory of the ``remap="full"`` twin configuration; when
+        given, the harness asserts identical event verdicts and that the
+        primary (incremental) configuration never searches a larger region.
+    label:
+        Name used in assertion messages.
+
+    Returns
+    -------
+    ScenarioConformanceReport
+        The traces, for assertions beyond the invariants.
+    """
+    tag = f"{label} [{script.name}]"
+
+    trace = runner_factory().run()
+    replay = runner_factory().run()
+    assert trace.content_hash() == replay.content_hash(), (
+        f"{tag}: replaying the same script produced a different trace "
+        f"({trace.content_hash()} vs {replay.content_hash()})\n"
+        f"replayable script: {replayable(script)}"
+    )
+
+    compared = 0
+    for factory in compare_factories:
+        other = factory().run()
+        assert other.content_hash() == trace.content_hash(), (
+            f"{tag}: alternative configuration #{compared} produced a "
+            f"different trace ({other.content_hash()} vs "
+            f"{trace.content_hash()})\nreplayable script: {replayable(script)}"
+        )
+        compared += 1
+
+    _check_trace_invariants(script, trace, tag)
+
+    full_trace = None
+    if full_factory is not None:
+        full_trace = full_factory().run()
+        _check_scope_minimality(script, trace, full_trace, tag)
+
+    return ScenarioConformanceReport(
+        trace=trace, full_trace=full_trace, compared=compared
+    )
+
+
+def _check_trace_invariants(
+    script: ScenarioScript, trace: ScenarioTrace, tag: str
+) -> None:
+    """Certification, stability and bookkeeping invariants of one trace."""
+    context = f"\nreplayable script: {replayable(script)}"
+    assert len(trace.records) == len(script.events), (
+        f"{tag}: {len(script.events)} events but {len(trace.records)} "
+        f"records{context}"
+    )
+
+    previous = None
+    base_certified = trace.base_outcome.deadlock_free
+    for record, event in zip(trace.records, script.events):
+        where = f"{tag}: event {record.index} ({record.kind})"
+        assert record.kind == event.kind and record.event_token == event.token(), (
+            f"{where}: trace records a different event than the script"
+            f"{context}"
+        )
+
+        if record.outcome.applied and record.kind in FAULT_EVENT_KINDS:
+            # Deadlock freedom after every fault.  A fabric with active
+            # faults must always be certified; the healthy base state is
+            # exempt only when it was never certified (torus bases).
+            returned_to_base = record.alive_tiles == script.topology.num_tiles
+            if not (returned_to_base and not base_certified):
+                assert record.outcome.deadlock_free, (
+                    f"{where}: applied fault left an uncertified fabric"
+                    f"{context}"
+                )
+
+        if not record.outcome.applied:
+            # Rejected events are inert.
+            assert record.remapped == () and record.searched_tiles == 0, (
+                f"{where}: rejected event still remapped something{context}"
+            )
+            if previous is not None:
+                assert record.placements == previous.placements, (
+                    f"{where}: rejected event moved placements{context}"
+                )
+                assert record.alive_tiles == previous.alive_tiles, (
+                    f"{where}: rejected event changed the fabric{context}"
+                )
+                assert record.total_cost == previous.total_cost, (
+                    f"{where}: rejected event changed the cost{context}"
+                )
+            else:
+                assert record.placements == (), (
+                    f"{where}: rejected first event produced placements"
+                    f"{context}"
+                )
+        else:
+            _check_survivor_stability(record, previous, event, where, context)
+
+        remapped_apps = {label.split(":", 1)[0] for label in record.remapped}
+        live = set(record.apps)
+        assert remapped_apps <= live, (
+            f"{where}: remapped cores of dead applications "
+            f"{sorted(remapped_apps - live)}{context}"
+        )
+        assert len(record.remapped) == len(set(record.remapped)), (
+            f"{where}: duplicate remap labels{context}"
+        )
+
+        for _, assignment in record.placements:
+            tiles = [tile for _, tile in assignment]
+            assert len(tiles) == len(set(tiles)), (
+                f"{where}: an application occupies a tile twice{context}"
+            )
+        all_tiles = [
+            tile
+            for _, assignment in record.placements
+            for _, tile in assignment
+        ]
+        assert len(all_tiles) == len(set(all_tiles)), (
+            f"{where}: two applications share a tile{context}"
+        )
+        assert len(all_tiles) <= record.alive_tiles, (
+            f"{where}: more placed cores than alive tiles{context}"
+        )
+        previous = record
+
+
+def _check_survivor_stability(record, previous, event, where: str, context: str):
+    """Cores outside the remap scope keep their tiles across an event."""
+    moved = set(record.remapped)
+    previous_apps = dict(previous.placements) if previous is not None else {}
+    current_apps = dict(record.placements)
+
+    for app, assignment in current_apps.items():
+        if app not in previous_apps:
+            # New applications must arrive through an arrival event that
+            # remaps exactly their cores.
+            assert isinstance(event, ApplicationArrival) and event.app == app, (
+                f"{where}: application {app!r} appeared without an arrival"
+                f"{context}"
+            )
+            for core, _ in assignment:
+                assert f"{app}:{core}" in moved, (
+                    f"{where}: arriving core {app}:{core} not in the remap "
+                    f"scope{context}"
+                )
+            continue
+        before = dict(previous_apps[app])
+        for core, tile in assignment:
+            if f"{app}:{core}" in moved:
+                continue
+            assert before.get(core) == tile, (
+                f"{where}: survivor {app}:{core} moved from "
+                f"{before.get(core)} to {tile} outside the remap scope"
+                f"{context}"
+            )
+
+
+def _check_scope_minimality(
+    script: ScenarioScript,
+    incremental: ScenarioTrace,
+    full: ScenarioTrace,
+    tag: str,
+) -> None:
+    """Incremental remapping never searches more than a full re-search."""
+    context = f"\nreplayable script: {replayable(script)}"
+    assert len(incremental.records) == len(full.records), (
+        f"{tag}: incremental and full traces disagree on event count{context}"
+    )
+    for inc, ful in zip(incremental.records, full.records):
+        where = f"{tag}: event {inc.index} ({inc.kind})"
+        assert (inc.outcome.status, inc.outcome.reason) == (
+            ful.outcome.status,
+            ful.outcome.reason,
+        ), (
+            f"{where}: remap mode changed the event verdict "
+            f"({inc.outcome.describe()} vs {ful.outcome.describe()})"
+            f"{context}"
+        )
+        assert inc.searched_tiles <= ful.searched_tiles, (
+            f"{where}: incremental remap searched {inc.searched_tiles} "
+            f"tiles, full remap only {ful.searched_tiles}{context}"
+        )
+        assert len(inc.remapped) <= len(ful.remapped), (
+            f"{where}: incremental remap moved more cores "
+            f"({len(inc.remapped)}) than full remap ({len(ful.remapped)})"
+            f"{context}"
+        )
+
+
+__all__ = [
+    "ScenarioConformanceReport",
+    "check_scenario_conformance",
+    "replayable",
+]

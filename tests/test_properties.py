@@ -11,7 +11,10 @@ Invariants exercised here:
   energy equation (10) decomposes exactly;
 * mapping transformations — swaps preserve injectivity;
 * graph conversion — the CWG collapse preserves total volume and the
-  per-flow volumes.
+  per-flow volumes;
+* degraded fabrics — removing links/routers from certified mesh/torus pairs
+  and re-validating never raises, and every rejection carries a witness that
+  is a real channel-dependency-graph cycle.
 """
 
 from __future__ import annotations
@@ -251,3 +254,107 @@ class TestConversionProperties:
         for source, target in cdcg.flows():
             expected = sum(p.bits for p in cdcg.packets_between(source, target))
             assert cwg.weight(source, target) == expected
+
+
+# ---------------------------------------------------------------------------
+# Deadlock validation on degraded fabrics
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedFabricProperties:
+    """Degrading a certified fabric never crashes the validator.
+
+    The scenario engine removes links and routers from certified mesh/torus
+    pairs and re-validates before resuming traffic; these properties pin the
+    two contracts that makes safe: ``validate_deadlock_free`` (via the
+    fabric manager) never raises with ``raise_on_cycle=False``, and every
+    rejection carries a witness that is a *real* cycle of the channel
+    dependency graph.
+    """
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_degrading_certified_pairs_never_raises(self, data):
+        from repro.noc.topology import Torus
+        from repro.scenario.events import LinkFailure, RouterFailure
+        from repro.scenario.fabric import FabricManager
+
+        width = data.draw(st.integers(min_value=2, max_value=4))
+        height = data.draw(st.integers(min_value=2, max_value=4))
+        base = data.draw(st.sampled_from(["mesh", "torus"]))
+        topology = (
+            Mesh(width, height) if base == "mesh" else Torus(width, height)
+        )
+        manager = FabricManager(Platform(mesh=topology, routing="table"))
+        links = sorted(manager._undirected)
+
+        for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+            if data.draw(st.booleans()):
+                event = LinkFailure(*data.draw(st.sampled_from(links)))
+            else:
+                event = RouterFailure(
+                    data.draw(
+                        st.integers(min_value=0, max_value=topology.num_tiles - 1)
+                    )
+                )
+            view, outcome = manager.preview(event)
+            assert (view is not None) == outcome.applied
+            if outcome.applied:
+                manager.commit(view)
+                assert view.certification.deadlock_free
+            else:
+                assert outcome.reason
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_rejection_witness_is_a_real_cdg_cycle(self, data):
+        from hypothesis import assume
+
+        from repro.graphs.crg import CRG
+        from repro.noc.deadlock import channel_dependency_graph
+        from repro.noc.topology import IrregularTopology
+        from repro.utils.errors import GraphValidationError
+
+        mesh = data.draw(mesh_strategy)
+        base_crg = mesh.to_crg()
+        undirected = sorted(
+            {(min(l.source, l.target), max(l.source, l.target)) for l in base_crg.links}
+        )
+        removed = set(
+            data.draw(
+                st.lists(
+                    st.sampled_from(undirected),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        )
+        crg = CRG("degraded-prop")
+        for tile in base_crg.tiles:
+            crg.add_tile(tile.index, *tile.position)
+        for link in base_crg.links:
+            key = (min(link.source, link.target), max(link.source, link.target))
+            if key in removed:
+                continue
+            crg.add_link(link.source, link.target)
+        try:
+            topology = IrregularTopology.from_crg(crg)
+        except GraphValidationError:
+            assume(False)  # disconnected draw — not this property's subject
+
+        platform = Platform(mesh=topology, routing="table")
+        report = platform.validate_deadlock_free(raise_on_cycle=False)
+        assert report.num_channels > 0
+        if report.deadlock_free:
+            assert report.cycle == ()
+            return
+
+        # The witness must be a genuine cycle of the CDG: every consecutive
+        # pair a real dependency, channels chaining head to tail, closed.
+        graph = channel_dependency_graph(platform.topology, platform.routing)
+        cycle = report.cycle
+        assert len(cycle) >= 2
+        for current, successor in zip(cycle, cycle[1:] + (cycle[0],)):
+            assert current[1] == successor[0]
+            assert successor in graph[current]

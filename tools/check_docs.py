@@ -43,7 +43,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages whose public API must be fully documented.
-PACKAGES = ["repro.eval", "repro.search", "repro.noc", "repro.service"]
+PACKAGES = [
+    "repro.eval",
+    "repro.search",
+    "repro.noc",
+    "repro.service",
+    "repro.scenario",
+]
 
 #: Markdown files whose relative links are verified.
 DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
@@ -330,6 +336,69 @@ def check_service_sections() -> list:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Dynamic-scenario contract coverage
+# ----------------------------------------------------------------------
+def check_scenario_sections() -> list:
+    """The dynamic-scenario contracts must stay documented end to end.
+
+    ``repro.scenario`` modules are swept by the docstring check; this check
+    pins the prose half: ``docs/scenarios.md`` must keep a section per
+    contract (the event model, the fault/certify/remap data flow, the
+    determinism contract, the ComparisonConfig pin), name the load-bearing
+    symbols, and the architecture guide must place the scenario layer — so
+    a new event kind or runner knob cannot land undocumented.
+    """
+    problems = []
+    guide = REPO_ROOT / "docs" / "scenarios.md"
+    if not guide.exists():
+        return ["docs/scenarios.md: file missing (the dynamic-scenario guide)"]
+    text = guide.read_text()
+    headings = [heading.lower() for heading in _HEADING_RE.findall(text)]
+    required = {
+        "event model": "the typed event vocabulary and script hashing",
+        "fault": "the fault/certify/remap data flow",
+        "determinism": "the replay determinism contract",
+        "comparisonconfig": "the scenario-free reproduction pin",
+    }
+    for needle, what in required.items():
+        if not any(needle in heading for heading in headings):
+            problems.append(
+                f"docs/scenarios.md: no section heading names {needle!r} "
+                f"({what})"
+            )
+    for symbol in (
+        "ScenarioScript",
+        "FabricManager",
+        "RegionObjective",
+        "ScenarioRunner",
+        "validate_deadlock_free",
+        "IrregularTopology.from_crg",
+        "tests/scenario_harness.py",
+    ):
+        if symbol not in text:
+            problems.append(f"docs/scenarios.md: {symbol} is never mentioned")
+
+    from repro.scenario.events import EVENT_TYPES
+
+    for kind in EVENT_TYPES:
+        if f"`{kind}`" not in text:
+            problems.append(
+                f"docs/scenarios.md: event kind `{kind}` is undocumented"
+            )
+    architecture = REPO_ROOT / "docs" / "architecture.md"
+    if architecture.exists():
+        arch_headings = _HEADING_RE.findall(architecture.read_text())
+        if not any(
+            "scenario" in heading.lower() for heading in arch_headings
+        ):
+            problems.append(
+                "docs/architecture.md: no section heading names the "
+                "dynamic-scenario layer (its data flow is undocumented)"
+            )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_docstrings()
@@ -338,6 +407,7 @@ def main() -> int:
         + check_topology_sections()
         + check_repair_sections()
         + check_service_sections()
+        + check_scenario_sections()
     )
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
