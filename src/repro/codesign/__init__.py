@@ -1,0 +1,62 @@
+"""Routing×mapping co-design: synthesised deadlock-free tables + NSGA-III.
+
+The reproduction pipeline (PRs 1–9) treats the routing as a fixed platform
+ingredient and searches mappings against it.  This subsystem makes the
+routing part of the genome:
+
+* :mod:`repro.codesign.synthesis` — generators and mutation operators over
+  per-target next-hop tables that preserve reachability by construction,
+  gated by the :func:`~repro.noc.deadlock.validate_deadlock_free` certifier
+  (repair-or-reject, witness cycles surfaced) before anything prices on
+  them;
+* :mod:`repro.codesign.load` — per-link congestion objectives
+  (``max_link_load``, ``link_load_spread``) over the shared route table,
+  exposed as append-only :class:`~repro.core.metrics.MetricVector`
+  components so legacy weighted views stay bit-identical;
+* :mod:`repro.codesign.engine` — :class:`~repro.codesign.engine.CodesignSearch`,
+  the NSGA-III co-evolution driver over ``(table, mapping)`` genomes with
+  per-routing context reuse and the structural certify-before-price gate.
+
+See ``docs/codesign.md`` for the genome model, the certification gate and
+the reference-point selection scheme.
+"""
+
+from repro.codesign.engine import (
+    DEFAULT_CODESIGN_KEYS,
+    CodesignParameters,
+    CodesignResult,
+    CodesignSearch,
+)
+from repro.codesign.load import (
+    LOAD_METRIC_NAMES,
+    LoadAwareCwmContext,
+    link_load_spread,
+    link_loads,
+    max_link_load,
+)
+from repro.codesign.synthesis import (
+    DEFAULT_SEED_SPECS,
+    CertificationResult,
+    NextHopTable,
+    SynthesizedRouting,
+    TableSynthesizer,
+    register_synthesized,
+)
+
+__all__ = [
+    "DEFAULT_CODESIGN_KEYS",
+    "CodesignParameters",
+    "CodesignResult",
+    "CodesignSearch",
+    "LOAD_METRIC_NAMES",
+    "LoadAwareCwmContext",
+    "link_load_spread",
+    "link_loads",
+    "max_link_load",
+    "DEFAULT_SEED_SPECS",
+    "CertificationResult",
+    "NextHopTable",
+    "SynthesizedRouting",
+    "TableSynthesizer",
+    "register_synthesized",
+]

@@ -1,0 +1,506 @@
+"""Deadlock-free next-hop table synthesis — routing as a searchable genome.
+
+PR 5 turned routing into data: :class:`~repro.noc.routing.TableRouting`
+derives deterministic per-target next-hop tables, and
+:func:`~repro.noc.deadlock.validate_deadlock_free` makes deadlock freedom a
+checkable predicate.  This module closes the loop and makes tables
+*synthesisable*:
+
+* :class:`SynthesizedRouting` — an immutable
+  :class:`~repro.noc.routing.RoutingAlgorithm` wrapping an explicit
+  ``next_hops[target][tile]`` table, whose :attr:`cache_token` embeds a
+  content digest so every distinct table keys its own shared
+  :class:`~repro.eval.route_table.RouteTable` (and pooled pricing rebuilds
+  bit-identical tables from the pickled contents);
+* :class:`TableSynthesizer` — generators and mutation operators over such
+  tables that preserve reachability **by construction**: every entry is a
+  *minimal* next hop (one step closer to the target by BFS distance), so
+  every route strictly decreases the distance and terminates at the target;
+* :meth:`TableSynthesizer.certify` — the deadlock gate every table passes
+  before anything prices mappings on it, with a repair-or-reject policy:
+  ``"reject"`` surfaces the witness cycle of the channel dependency graph,
+  ``"repair"`` reverts the entries feeding the witness cycle's links to a
+  certified fallback table (BFS/XY on meshes) until the CDG is acyclic.
+
+Synthesized routings are addressable through the routing registry via
+:func:`register_synthesized`, so a winning table can be installed as a named
+platform spec (``Platform(mesh, routing="my-table")``) like any shipped
+routing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.noc.deadlock import Channel, DeadlockReport, validate_deadlock_free
+from repro.noc.routing import (
+    RoutingAlgorithm,
+    available_routings,
+    get_routing,
+    register_routing,
+)
+from repro.noc.topology import Topology
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomSource, ensure_rng
+
+#: A per-target next-hop table: ``table[target][tile]`` is the tile the
+#: header steps to next on its way to ``target`` (``-1`` on the diagonal and
+#: for unreachable pairs).
+NextHopTable = Tuple[Tuple[int, ...], ...]
+
+#: Registry specs the synthesizer seeds its initial tables from, in order.
+DEFAULT_SEED_SPECS: Tuple[str, ...] = (
+    "xy",
+    "yx",
+    "west-first",
+    "negative-first",
+    "table",
+)
+
+#: Default certification policy (see :meth:`TableSynthesizer.certify`).
+DEFAULT_POLICY = "repair"
+
+_POLICIES = ("reject", "repair")
+
+#: How many witness-guided revert rounds a repair attempts before falling
+#: back to the certified seed table wholesale.
+_MAX_REPAIR_ROUNDS = 8
+
+
+class SynthesizedRouting(RoutingAlgorithm):
+    """A routing algorithm defined by an explicit per-target next-hop table.
+
+    Parameters
+    ----------
+    next_hops:
+        ``next_hops[target][tile]`` — the next tile on the route from
+        ``tile`` to ``target`` (``-1`` marks the diagonal and unreachable
+        pairs).  Rows are copied into immutable tuples.
+
+    Notes
+    -----
+    Instances are stateless and deterministic, so they satisfy the
+    :class:`~repro.noc.routing.RoutingAlgorithm` contract and can share
+    process-wide route tables.  The :attr:`cache_token` embeds a SHA-256
+    digest of the table contents — two instances route identically exactly
+    when their tokens agree, which is what lets the co-design engine key
+    evaluation contexts (and the route-table cache) per table.
+    """
+
+    name = "synthesized"
+
+    def __init__(self, next_hops: Sequence[Sequence[int]]) -> None:
+        table = tuple(tuple(int(hop) for hop in row) for row in next_hops)
+        if not table:
+            raise ConfigurationError("next-hop table must not be empty")
+        size = len(table)
+        for target, row in enumerate(table):
+            if len(row) != size:
+                raise ConfigurationError(
+                    f"next-hop row for target {target} has {len(row)} entries; "
+                    f"expected one per tile ({size})"
+                )
+            for tile, hop in enumerate(row):
+                if hop >= size:
+                    raise ConfigurationError(
+                        f"next hop {hop} of tile {tile} towards target "
+                        f"{target} is outside the {size}-tile table"
+                    )
+        self._next_hops = table
+        digest = hashlib.sha256(repr(table).encode("ascii")).hexdigest()
+        self._digest = digest[:16]
+
+    @property
+    def next_hops(self) -> NextHopTable:
+        """The immutable ``[target][tile]`` next-hop table."""
+        return self._next_hops
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles the table covers."""
+        return len(self._next_hops)
+
+    @property
+    def digest(self) -> str:
+        """Content digest identifying the table (hex, 16 chars)."""
+        return self._digest
+
+    @property
+    def cache_token(self) -> Tuple:
+        """Content-addressed identity: equal tables share route caches."""
+        return (type(self).__module__, type(self).__qualname__, self._digest)
+
+    def route(self, topology: Topology, source: int, target: int) -> List[int]:
+        """The table route from *source* to *target*, endpoints included."""
+        if topology.num_tiles != len(self._next_hops):
+            raise ConfigurationError(
+                f"next-hop table covers {len(self._next_hops)} tiles but "
+                f"{topology} has {topology.num_tiles}"
+            )
+        for tile in (source, target):
+            if not topology.contains(tile):
+                raise ConfigurationError(f"tile {tile} outside {topology}")
+        if source == target:
+            return [source]
+        row = self._next_hops[target]
+        path = [source]
+        current = source
+        limit = len(row)
+        while current != target:
+            step = row[current]
+            if step < 0:
+                raise ConfigurationError(
+                    f"no route from tile {source} to tile {target} in the "
+                    f"synthesized table {self._digest}"
+                )
+            path.append(step)
+            current = step
+            if len(path) > limit:
+                raise ConfigurationError(
+                    f"routing loop from tile {source} to tile {target} in "
+                    f"the synthesized table {self._digest}"
+                )
+        return path
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SynthesizedRouting):
+            return NotImplemented
+        return self._next_hops == other._next_hops
+
+    def __hash__(self) -> int:
+        return hash(self._next_hops)
+
+    def __repr__(self) -> str:
+        return f"SynthesizedRouting(digest={self._digest!r})"
+
+
+def register_synthesized(
+    name: str, routing: SynthesizedRouting, overwrite: bool = False
+) -> None:
+    """Install a synthesized table in the routing registry under *name*.
+
+    The registered factory returns the (immutable) instance itself, so
+    ``Platform(mesh, routing=name)`` resolves to the exact table —
+    addressable end to end like the shipped specs.
+    """
+    register_routing(name, lambda: routing, overwrite=overwrite)
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Outcome of gating one table through the deadlock validator.
+
+    Attributes
+    ----------
+    routing:
+        The certified routing — ``None`` exactly when :attr:`certified` is
+        False (the table was rejected).
+    report:
+        The final :class:`~repro.noc.deadlock.DeadlockReport` (of the
+        certified table, or of the rejected one).
+    certified:
+        Whether a deadlock-free routing came out of the gate.
+    repaired:
+        Whether the certified table differs from the submitted one (repair
+        policy reverted entries).
+    witness:
+        The first witness cycle encountered (empty when the submitted table
+        was already deadlock-free) — the closed channel-dependency loop the
+        validator found, surfaced for diagnostics and property tests.
+    """
+
+    routing: Optional[SynthesizedRouting]
+    report: DeadlockReport
+    certified: bool
+    repaired: bool
+    witness: Tuple[Channel, ...] = ()
+
+
+class TableSynthesizer:
+    """Generator and mutator of reachability-preserving next-hop tables.
+
+    Parameters
+    ----------
+    topology:
+        The fabric tables are synthesised for (any
+        :class:`~repro.noc.topology.Topology`).
+    seed_specs:
+        Routing-registry specs the seed tables are materialised from;
+        specs that do not apply to the topology (e.g. turn models on a
+        torus) or fail the deadlock gate are skipped.  At least one seed
+        must certify — it becomes the repair fallback.
+
+    Notes
+    -----
+    All generated and mutated entries are *minimal*: a next hop is only ever
+    a neighbour one BFS step closer to the target, so synthesized tables
+    route every reachable pair by construction (distance strictly decreases
+    along every route).  Deadlock freedom is **not** guaranteed by
+    minimality — arbitrary minimal tables mix turns freely — which is
+    exactly what :meth:`certify` gates.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed_specs: Sequence[str] = DEFAULT_SEED_SPECS,
+    ) -> None:
+        self.topology = topology
+        n = topology.num_tiles
+        out = [list(topology.neighbours(index)) for index in topology.tiles()]
+        incoming: List[List[int]] = [[] for _ in range(n)]
+        for index, neighbours in enumerate(out):
+            for neighbour in neighbours:
+                incoming[neighbour].append(index)
+        # distance[target][tile] and the per-(target, tile) minimal next-hop
+        # choices, in the topology's neighbour order (the tie-break contract
+        # that makes choice 0 reproduce BFS TableRouting).
+        self._choices: List[List[Tuple[int, ...]]] = []
+        for target in range(n):
+            distance = [-1] * n
+            distance[target] = 0
+            frontier = [target]
+            while frontier:
+                next_frontier: List[int] = []
+                for tile in frontier:
+                    for predecessor in incoming[tile]:
+                        if distance[predecessor] < 0:
+                            distance[predecessor] = distance[tile] + 1
+                            next_frontier.append(predecessor)
+                frontier = next_frontier
+            rows: List[Tuple[int, ...]] = []
+            for tile in range(n):
+                if tile == target or distance[tile] < 0:
+                    rows.append(())
+                    continue
+                rows.append(
+                    tuple(
+                        neighbour
+                        for neighbour in out[tile]
+                        if distance[neighbour] == distance[tile] - 1
+                    )
+                )
+            self._choices.append(rows)
+        self._mutable: Tuple[Tuple[int, int], ...] = tuple(
+            (target, tile)
+            for target in range(n)
+            for tile in range(n)
+            if len(self._choices[target][tile]) > 1
+        )
+        self._seed_tables: Dict[str, NextHopTable] = {}
+        self._fallback: Optional[NextHopTable] = None
+        for spec in seed_specs:
+            if spec not in available_routings():
+                continue
+            try:
+                table = self.materialise(get_routing(spec))
+                result = self.certify(table, policy="reject")
+            except ConfigurationError:
+                continue
+            if not result.certified:
+                continue
+            self._seed_tables[spec] = table
+            if self._fallback is None:
+                self._fallback = table
+        if self._fallback is None:
+            raise ConfigurationError(
+                f"no seed routing of {tuple(seed_specs)} certifies "
+                f"deadlock-free on {topology}; cannot synthesise tables "
+                f"without a repair fallback"
+            )
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    def materialise(self, routing: RoutingAlgorithm) -> NextHopTable:
+        """The next-hop table of an existing routing over the topology.
+
+        Entries outside the minimal choice set (a non-minimal routing) are
+        clamped to the first minimal next hop, preserving the synthesizer's
+        reachability-by-construction invariant.
+        """
+        n = self.topology.num_tiles
+        table: List[List[int]] = [[-1] * n for _ in range(n)]
+        for target in range(n):
+            for tile in range(n):
+                if tile == target:
+                    continue
+                choices = self._choices[target][tile]
+                if not choices:
+                    continue
+                hop = routing.route(self.topology, tile, target)[1]
+                table[target][tile] = hop if hop in choices else choices[0]
+        return tuple(tuple(row) for row in table)
+
+    def seed_tables(self) -> Dict[str, NextHopTable]:
+        """The certified seed tables, keyed by their registry spec."""
+        return dict(self._seed_tables)
+
+    def random_table(self, rng: RandomSource = None) -> NextHopTable:
+        """A uniformly random minimal table (reachable by construction)."""
+        generator = ensure_rng(rng)
+        n = self.topology.num_tiles
+        table: List[List[int]] = [[-1] * n for _ in range(n)]
+        for target in range(n):
+            for tile in range(n):
+                if tile == target:
+                    continue
+                choices = self._choices[target][tile]
+                if not choices:
+                    continue
+                table[target][tile] = choices[
+                    int(generator.integers(len(choices)))
+                ]
+        return tuple(tuple(row) for row in table)
+
+    def mutate(
+        self,
+        table: NextHopTable,
+        rng: RandomSource = None,
+        mutations: int = 1,
+    ) -> NextHopTable:
+        """Re-point up to *mutations* entries at alternative minimal hops.
+
+        Each mutation picks a ``(target, tile)`` pair with more than one
+        minimal next hop and switches the entry to a different one, so the
+        result stays reachability-preserving.  Topologies with no such pair
+        (a 1×n chain) return the table unchanged.
+        """
+        if mutations < 1:
+            raise ConfigurationError(
+                f"mutations must be positive, got {mutations}"
+            )
+        if not self._mutable:
+            return table
+        generator = ensure_rng(rng)
+        rows = [list(row) for row in table]
+        for _ in range(mutations):
+            target, tile = self._mutable[
+                int(generator.integers(len(self._mutable)))
+            ]
+            choices = self._choices[target][tile]
+            alternatives = tuple(
+                choice for choice in choices if choice != rows[target][tile]
+            )
+            rows[target][tile] = alternatives[
+                int(generator.integers(len(alternatives)))
+            ]
+        return tuple(tuple(row) for row in rows)
+
+    # ------------------------------------------------------------------
+    # The deadlock gate
+    # ------------------------------------------------------------------
+    def certify(
+        self, table: NextHopTable, policy: str = DEFAULT_POLICY
+    ) -> CertificationResult:
+        """Gate *table* through the deadlock validator before any pricing.
+
+        Parameters
+        ----------
+        table:
+            The candidate next-hop table.
+        policy:
+            ``"reject"`` — a cyclic channel dependency graph rejects the
+            table, surfacing the witness cycle; ``"repair"`` — entries
+            feeding the witness cycle's links are reverted to the certified
+            fallback table round by round, falling back wholesale when no
+            entry reverts or when :data:`_MAX_REPAIR_ROUNDS` rounds are
+            exhausted, and the repaired table re-enters the gate.  Repair
+            therefore always certifies (the fallback itself is certified
+            at construction).
+
+        Returns
+        -------
+        CertificationResult
+            Always carries the final :class:`~repro.noc.deadlock.DeadlockReport`;
+            ``routing`` is set exactly when the gate passed.
+        """
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                f"unknown certification policy {policy!r}; "
+                f"expected one of {_POLICIES}"
+            )
+        routing = SynthesizedRouting(table)
+        report = validate_deadlock_free(
+            self.topology, routing, raise_on_cycle=False
+        )
+        if report.deadlock_free:
+            return CertificationResult(
+                routing=routing, report=report, certified=True, repaired=False
+            )
+        first_witness = report.cycle
+        if policy == "reject":
+            return CertificationResult(
+                routing=None,
+                report=report,
+                certified=False,
+                repaired=False,
+                witness=first_witness,
+            )
+        fallback = self._fallback
+        assert fallback is not None  # constructor guarantees a fallback
+        rows = [list(row) for row in table]
+        for round_index in range(_MAX_REPAIR_ROUNDS):
+            cycle_links = set(report.cycle)
+            reverted = False
+            for target in range(len(rows)):
+                row = rows[target]
+                for tile, hop in enumerate(row):
+                    if hop < 0:
+                        continue
+                    if (tile, hop) in cycle_links and hop != fallback[target][tile]:
+                        row[tile] = fallback[target][tile]
+                        reverted = True
+            if not reverted:
+                # The witness survives on fallback entries alone; only the
+                # full fallback (certified at construction) can clear it.
+                rows = [list(row) for row in fallback]
+            candidate = tuple(tuple(row) for row in rows)
+            routing = SynthesizedRouting(candidate)
+            report = validate_deadlock_free(
+                self.topology, routing, raise_on_cycle=False
+            )
+            if report.deadlock_free:
+                return CertificationResult(
+                    routing=routing,
+                    report=report,
+                    certified=True,
+                    repaired=True,
+                    witness=first_witness,
+                )
+        # Witness-guided reverts are monotone (entries only ever move toward
+        # the fallback) but a large mesh can surface more distinct cycles
+        # than there are rounds; when the budget runs out, revert wholesale
+        # to the fallback, which is certified by construction.
+        routing = SynthesizedRouting(fallback)
+        report = validate_deadlock_free(
+            self.topology, routing, raise_on_cycle=False
+        )
+        if report.deadlock_free:
+            return CertificationResult(
+                routing=routing,
+                report=report,
+                certified=True,
+                repaired=True,
+                witness=first_witness,
+            )
+        return CertificationResult(  # pragma: no cover - defensive
+            routing=None,
+            report=report,
+            certified=False,
+            repaired=True,
+            witness=first_witness,
+        )
+
+
+__all__ = [
+    "NextHopTable",
+    "DEFAULT_SEED_SPECS",
+    "DEFAULT_POLICY",
+    "SynthesizedRouting",
+    "register_synthesized",
+    "CertificationResult",
+    "TableSynthesizer",
+]

@@ -79,8 +79,12 @@ class CdcmReport:
         """Named component vector of this evaluation (the vector-objective view).
 
         Components follow :data:`~repro.core.metrics.CDCM_METRIC_NAMES`:
-        total energy ``ENoC``, execution time ``texec``, and the
-        dynamic/static decomposition of the energy term.
+        total energy ``ENoC``, execution time ``texec``, the dynamic/static
+        decomposition of the energy term, and the replay's
+        :meth:`~repro.noc.scheduler.ScheduleResult.max_link_utilisation`
+        congestion figure.  The congestion component never enters the legacy
+        weight views (see :func:`~repro.core.metrics.scalarisation_weights`),
+        so scalar costs are unchanged by its presence.
         """
         return MetricVector(
             CDCM_METRIC_NAMES,
@@ -89,6 +93,7 @@ class CdcmReport:
                 self.schedule.execution_time,
                 self.energy.dynamic,
                 self.energy.static,
+                self.schedule.max_link_utilisation(),
             ),
         )
 

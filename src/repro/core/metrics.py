@@ -37,14 +37,19 @@ from repro.utils.errors import ConfigurationError
 CWM_METRIC_NAMES: Tuple[str, ...] = ("dynamic_energy",)
 
 #: Component names of a CDCM evaluation, in scalarisation-accumulation order:
-#: ``energy`` is ``ENoC`` (equation 10), ``time`` is ``texec``, and the two
+#: ``energy`` is ``ENoC`` (equation 10), ``time`` is ``texec``, the two
 #: energy terms break the total down (``energy == dynamic_energy +
-#: static_energy``).
+#: static_energy``), and ``max_link_utilisation`` is the busiest link's busy
+#: fraction of the replay (the congestion component the co-design engines
+#: optimise).  New components are appended at the end: ``weighted_sum`` skips
+#: zero-weight components and :func:`scalarisation_weights` never names the
+#: congestion term, so every legacy weight view stays bit-identical.
 CDCM_METRIC_NAMES: Tuple[str, ...] = (
     "energy",
     "time",
     "dynamic_energy",
     "static_energy",
+    "max_link_utilisation",
 )
 
 #: Legacy CDCM metric specifications accepted by :func:`scalarisation_weights`.

@@ -61,7 +61,7 @@ from repro.energy.dynamic import cdcm_dynamic_energy, communication_dynamic_ener
 from repro.energy.static import noc_static_power
 from repro.graphs.cdcg import CDCG
 from repro.noc.platform import Platform
-from repro.noc.resources import Occupation, Resource
+from repro.noc.resources import LinkResource, Occupation, Resource
 from repro.noc.scheduler import (
     CdcmScheduler,
     FrozenOccupations,
@@ -81,7 +81,7 @@ DEFAULT_REPAIR = True
 _DRIFT_FLOOR = 1e-12
 
 #: The zero delta (both tiles empty, or a tile swapped with itself).
-_ZERO_DELTA = MetricVector(CDCM_METRIC_NAMES, (0.0, 0.0, 0.0, 0.0))
+_ZERO_DELTA = MetricVector(CDCM_METRIC_NAMES, (0.0, 0.0, 0.0, 0.0, 0.0))
 
 
 @dataclass(frozen=True)
@@ -204,6 +204,9 @@ class _BaseState:
     index: Dict[Resource, List[Occupation]]
     footprints: Dict[str, List[Tuple[Resource, Occupation]]]
     metrics: MetricVector
+    #: Total busy time per inter-router link — the running numerator of the
+    #: ``max_link_utilisation`` metric component, spliced incrementally.
+    link_busy: Dict[Resource, float] = field(default_factory=dict)
     drift: float = 0.0
     swaps_since_resync: int = 0
 
@@ -229,6 +232,9 @@ class _Candidate:
         default_factory=dict
     )
     metrics: Optional[MetricVector] = None
+    #: Per-link busy-time change of the ``changed`` packets, applied to the
+    #: base's :attr:`_BaseState.link_busy` on promotion.
+    link_busy_delta: Dict[Resource, float] = field(default_factory=dict)
 
 
 def _occupation_start(occupation: Occupation) -> float:
@@ -400,6 +406,10 @@ class CdcmRepairEngine:
             for occupation in occupations:
                 footprints[occupation.packet].append((resource, occupation))
         tile_of = {core: mapping.tile_of(core) for core in self.cdcg.cores()}
+        link_busy: Dict[Resource, float] = {}
+        for resource, occupations in index.items():
+            if isinstance(resource, LinkResource):
+                link_busy[resource] = sum(o.duration for o in occupations)
         return _BaseState(
             mapping=mapping,
             tile_of=tile_of,
@@ -407,6 +417,7 @@ class CdcmRepairEngine:
             index=index,
             footprints=footprints,
             metrics=self._exact_metrics(result),
+            link_busy=link_busy,
         )
 
     def _exact_metrics(self, result: ScheduleResult) -> MetricVector:
@@ -416,7 +427,13 @@ class CdcmRepairEngine:
         static = self._static_power * result.execution_time
         return MetricVector(
             CDCM_METRIC_NAMES,
-            (dynamic + static, result.execution_time, dynamic, static),
+            (
+                dynamic + static,
+                result.execution_time,
+                dynamic,
+                static,
+                result.max_link_utilisation(),
+            ),
         )
 
     def _scalarise(self, metrics: MetricVector) -> float:
@@ -467,6 +484,12 @@ class CdcmRepairEngine:
             # footprint pins the delivery time but not e.g. the injection
             # time, which later window builds read.
             base.schedules[name] = candidate.schedules[name]
+        for resource, change in candidate.link_busy_delta.items():
+            updated = base.link_busy.get(resource, 0.0) + change
+            if updated == 0.0:
+                base.link_busy.pop(resource, None)
+            else:
+                base.link_busy[resource] = updated
         assert candidate.metrics is not None and candidate.tile_of is not None
         base.metrics = candidate.metrics
         base.mapping = candidate.mapping
@@ -765,9 +788,36 @@ class CdcmRepairEngine:
                 )
         dynamic = base.metrics["dynamic_energy"] + dynamic_delta
         static = self._static_power * execution_time
+        # Congestion component: only the ``changed`` packets moved busy time
+        # between links, so the tracked per-link numerators are patched by a
+        # small delta dict and the max rescanned (division by the shared
+        # execution time is monotone, so max(busy)/t == max(busy/t)).
+        link_busy_delta: Dict[Resource, float] = {}
+        for name in changed:
+            for resource, occupation in base.footprints.get(name, ()):
+                if isinstance(resource, LinkResource):
+                    link_busy_delta[resource] = (
+                        link_busy_delta.get(resource, 0.0) - occupation.duration
+                    )
+            for resource, occupation in sub.footprints[name]:
+                if isinstance(resource, LinkResource):
+                    link_busy_delta[resource] = (
+                        link_busy_delta.get(resource, 0.0) + occupation.duration
+                    )
+        max_busy = 0.0
+        for resource, busy in base.link_busy.items():
+            change = link_busy_delta.get(resource)
+            if change is not None:
+                busy += change
+            if busy > max_busy:
+                max_busy = busy
+        for resource, change in link_busy_delta.items():
+            if resource not in base.link_busy and change > max_busy:
+                max_busy = change
+        utilisation = max_busy / execution_time if execution_time > 0 else 0.0
         metrics = MetricVector(
             CDCM_METRIC_NAMES,
-            (dynamic + static, execution_time, dynamic, static),
+            (dynamic + static, execution_time, dynamic, static, utilisation),
         )
         delta = MetricVector(
             CDCM_METRIC_NAMES,
@@ -800,6 +850,7 @@ class CdcmRepairEngine:
             schedules=sub.schedules,
             footprints=sub.footprints,
             metrics=metrics,
+            link_busy_delta=link_busy_delta,
         )
 
     # ------------------------------------------------------------------

@@ -11,7 +11,10 @@ engines useful as baselines and extensions:
   heuristic placing the most communication-intensive cores first;
 * :class:`~repro.search.genetic.GeneticSearch` — a permutation GA extension;
 * :class:`~repro.search.nsga2.NSGA2Search` — NSGA-II population-front search
-  optimising the energy/time front directly on the vector objective.
+  optimising the energy/time front directly on the vector objective;
+* :class:`~repro.search.nsga3.NSGA3Search` — NSGA-III reference-point
+  selection for many-objective fronts (three or more keys, e.g. the
+  energy × time × congestion trade-off of :mod:`repro.codesign`).
 
 Every engine implements :class:`~repro.search.base.Searcher` and only sees the
 objective function ``mapping -> cost``, so it works identically for CWM and
@@ -37,6 +40,7 @@ from repro.search.random_search import RandomSearch
 from repro.search.greedy import GreedyConstructive
 from repro.search.genetic import GeneticParameters, GeneticSearch
 from repro.search.nsga2 import Nsga2Parameters, NSGA2Search
+from repro.search.nsga3 import Nsga3Parameters, NSGA3Search
 from repro.search.registry import get_searcher, available_searchers
 
 __all__ = [
@@ -55,6 +59,8 @@ __all__ = [
     "GeneticSearch",
     "Nsga2Parameters",
     "NSGA2Search",
+    "Nsga3Parameters",
+    "NSGA3Search",
     "get_searcher",
     "available_searchers",
 ]

@@ -37,6 +37,7 @@ from repro.search.base import Searcher
 from repro.search.exhaustive import ExhaustiveSearch
 from repro.search.genetic import GeneticSearch
 from repro.search.nsga2 import NSGA2Search
+from repro.search.nsga3 import NSGA3Search
 from repro.search.random_search import RandomSearch
 from repro.utils.errors import ConfigurationError
 
@@ -46,10 +47,12 @@ _REGISTRY: Dict[str, Type[Searcher]] = {
     RandomSearch.name: RandomSearch,
     GeneticSearch.name: GeneticSearch,
     NSGA2Search.name: NSGA2Search,
-    # Aliases matching the paper's abbreviations (and the NSGA-II literature).
+    NSGA3Search.name: NSGA3Search,
+    # Aliases matching the paper's abbreviations (and the NSGA literature).
     "sa": SimulatedAnnealing,
     "es": ExhaustiveSearch,
     "nsga-ii": NSGA2Search,
+    "nsga-iii": NSGA3Search,
 }
 
 

@@ -24,6 +24,7 @@ from repro.workloads.embedded import (
     fft8,
     object_recognition,
     image_encoder,
+    hub_gather_scatter,
     embedded_applications,
 )
 from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
@@ -43,6 +44,7 @@ __all__ = [
     "fft8",
     "object_recognition",
     "image_encoder",
+    "hub_gather_scatter",
     "embedded_applications",
     "TgffLikeGenerator",
     "TgffSpec",

@@ -275,6 +275,64 @@ def image_encoder(
     return cdcg
 
 
+def hub_gather_scatter(
+    num_workers: int = 8,
+    waves: int = 2,
+    data_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    name: str = "hub-gather-scatter",
+) -> CDCG:
+    """Synthetic hub hotspot: all traffic converges on (and fans out of) ``HUB``.
+
+    Not one of the paper's eight applications — a congestion stressor for
+    the routing×mapping co-design subsystem (:mod:`repro.codesign`).  Every
+    wave broadcasts a command from ``HUB`` to each worker and gathers a
+    large result back, so whatever tile the hub lands on, a *deterministic*
+    routing (XY) funnels every gather onto the same few incoming links of
+    that tile — saturating one mesh column — while a synthesized minimal
+    table can spread the same volumes over all minimal paths into the hub.
+    Computation is kept tiny so contention dominates the makespan.
+    """
+    if num_workers < 2:
+        raise ConfigurationError(
+            f"hub workload needs at least two workers, got {num_workers}"
+        )
+    if waves < 1:
+        raise ConfigurationError(f"waves must be positive, got {waves}")
+    cdcg = CDCG(name)
+    command_bits = _scaled_bits(2 * 1024, data_scale)
+    result_bits = _scaled_bits(24 * 1024, data_scale)
+
+    previous_wave: List[str] = []
+    for wave in range(waves):
+        gathers: List[str] = []
+        for worker in range(num_workers):
+            command = f"w{wave}_cmd{worker}"
+            cdcg.add_packet(
+                command,
+                "HUB",
+                f"WK{worker}",
+                computation_time=1.0 * compute_scale,
+                bits=command_bits,
+            )
+            for gather in previous_wave:
+                cdcg.add_dependence(gather, command)
+            result = f"w{wave}_res{worker}"
+            cdcg.add_packet(
+                result,
+                f"WK{worker}",
+                "HUB",
+                computation_time=2.0 * compute_scale,
+                bits=result_bits,
+            )
+            cdcg.add_dependence(command, result)
+            gathers.append(result)
+        previous_wave = gathers
+
+    cdcg.validate()
+    return cdcg
+
+
 def embedded_applications() -> Dict[str, CDCG]:
     """The eight embedded applications of Section 5: four algorithms, each
     with one variation (different data or refinement scale)."""
@@ -299,5 +357,6 @@ __all__ = [
     "fft8",
     "object_recognition",
     "image_encoder",
+    "hub_gather_scatter",
     "embedded_applications",
 ]

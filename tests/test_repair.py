@@ -161,7 +161,7 @@ class TestRepairEngine:
     def test_same_tile_swap_prices_zero(self, setup):
         _, _, engine, mapping = setup
         delta = engine.metric_delta(mapping, 2, 2)
-        assert tuple(delta.values) == (0.0, 0.0, 0.0, 0.0)
+        assert tuple(delta.values) == (0.0, 0.0, 0.0, 0.0, 0.0)
         assert engine.last_outcome.exact
 
     def test_empty_empty_swap_prices_zero(self, setup):
@@ -170,7 +170,7 @@ class TestRepairEngine:
         empty = sorted(set(range(platform.num_tiles)) - occupied)
         assert len(empty) >= 2
         delta = engine.metric_delta(mapping, empty[0], empty[1])
-        assert tuple(delta.values) == (0.0, 0.0, 0.0, 0.0)
+        assert tuple(delta.values) == (0.0, 0.0, 0.0, 0.0, 0.0)
 
     def test_out_of_range_tile_raises(self, setup):
         _, _, engine, mapping = setup

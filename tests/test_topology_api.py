@@ -62,6 +62,7 @@ from repro.noc.topology import (
 )
 from repro.search.greedy import GreedyConstructive
 from repro.search.nsga2 import Nsga2Parameters
+from repro.search.nsga3 import Nsga3Parameters
 from repro.search.registry import available_searchers, get_searcher
 from repro.utils.errors import ConfigurationError
 from repro.workloads.tgff import TgffLikeGenerator, TgffSpec
@@ -547,6 +548,11 @@ class TestIrregularEndToEnd:
                     parameters=Nsga2Parameters(population_size=8, generations=2),
                     keys=("energy", "time"),
                 )
+            elif name in ("nsga3", "nsga-iii"):
+                kwargs = dict(
+                    parameters=Nsga3Parameters(population_size=8, generations=2),
+                    keys=("energy", "time"),
+                )
             engine = get_searcher(name, **kwargs)
             if type(engine) in seen:
                 continue  # registry aliases resolve to the same class
@@ -556,7 +562,7 @@ class TestIrregularEndToEnd:
             )
             assert result.best_cost > 0
             assert result.best_mapping.num_tiles == platform.num_tiles
-        assert len(seen) == 5
+        assert len(seen) == 6
 
     def test_greedy_constructs_deterministically(self, setup):
         _, cwg, platform = setup

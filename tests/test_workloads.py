@@ -7,6 +7,7 @@ from repro.utils.errors import ConfigurationError
 from repro.workloads.embedded import (
     embedded_applications,
     fft8,
+    hub_gather_scatter,
     image_encoder,
     object_recognition,
     romberg_integration,
@@ -136,6 +137,26 @@ class TestEmbeddedApplications:
         assert scaled.critical_path_time() == pytest.approx(
             2 * base.critical_path_time()
         )
+
+    def test_hub_gather_scatter_structure(self):
+        cdcg = hub_gather_scatter(num_workers=8, waves=2)
+        cdcg.validate()
+        assert cdcg.num_cores == 9  # HUB + 8 workers
+        assert cdcg.num_packets == 2 * 2 * 8  # command + result per worker/wave
+        # The hotspot property: every packet has the hub as an endpoint.
+        for packet in cdcg.packets:
+            assert "HUB" in (packet.source, packet.target)
+
+    def test_hub_gather_scatter_validates_arguments(self):
+        with pytest.raises(ConfigurationError):
+            hub_gather_scatter(num_workers=1)
+        with pytest.raises(ConfigurationError):
+            hub_gather_scatter(waves=0)
+
+    def test_hub_gather_scatter_not_in_paper_suite(self):
+        # A congestion stressor for repro.codesign, not one of the paper's
+        # eight applications.
+        assert "hub-gather-scatter" not in embedded_applications()
 
     def test_eight_embedded_applications(self):
         apps = embedded_applications()

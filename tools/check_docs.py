@@ -49,6 +49,7 @@ PACKAGES = [
     "repro.noc",
     "repro.service",
     "repro.scenario",
+    "repro.codesign",
 ]
 
 #: Markdown files whose relative links are verified.
@@ -399,6 +400,59 @@ def check_scenario_sections() -> list:
     return problems
 
 
+def check_codesign_sections() -> list:
+    """The routing×mapping co-design contracts must stay documented.
+
+    ``repro.codesign`` modules are swept by the docstring check; this check
+    pins the prose half: ``docs/codesign.md`` must keep a section per
+    contract (the genome model, the certification gate, reference-point
+    selection, the ComparisonConfig pin), name the load-bearing symbols,
+    and ``docs/search.md`` must cover the ``nsga3`` and ``codesign``
+    engines — so a new gate policy or engine knob cannot land undocumented.
+    """
+    problems = []
+    guide = REPO_ROOT / "docs" / "codesign.md"
+    if not guide.exists():
+        return ["docs/codesign.md: file missing (the co-design guide)"]
+    text = guide.read_text()
+    headings = [heading.lower() for heading in _HEADING_RE.findall(text)]
+    required = {
+        "genome": "the (routing table, mapping) genome model",
+        "certification gate": "the certify-before-price contract",
+        "reference-point": "the NSGA-III niching behind the 3-key front",
+        "comparisonconfig": "the reproduction pin",
+    }
+    for needle, what in required.items():
+        if not any(needle in heading for heading in headings):
+            problems.append(
+                f"docs/codesign.md: no section heading names {needle!r} "
+                f"({what})"
+            )
+    for symbol in (
+        "SynthesizedRouting",
+        "TableSynthesizer",
+        "CodesignSearch",
+        "register_synthesized",
+        "validate_deadlock_free",
+        "max_link_utilisation",
+    ):
+        if symbol not in text:
+            problems.append(f"docs/codesign.md: {symbol} is never mentioned")
+    search_guide = REPO_ROOT / "docs" / "search.md"
+    if search_guide.exists():
+        search_headings = [
+            heading.lower()
+            for heading in _HEADING_RE.findall(search_guide.read_text())
+        ]
+        for engine in ("nsga3", "codesign"):
+            if not any(engine in heading for heading in search_headings):
+                problems.append(
+                    f"docs/search.md: no section heading names engine "
+                    f"{engine!r}"
+                )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_docstrings()
@@ -408,6 +462,7 @@ def main() -> int:
         + check_repair_sections()
         + check_service_sections()
         + check_scenario_sections()
+        + check_codesign_sections()
     )
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
